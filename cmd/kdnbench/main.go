@@ -1,0 +1,66 @@
+// Command kdnbench regenerates the §4.1 benchmark study: Table 3 (dataset
+// splits) and Table 4 (MAE/MSE of eight methods on the three KDN VNF
+// datasets).
+//
+// Usage:
+//
+//	kdnbench [-table3] [-seeds N] [-epochs N] [-hidden N] [-skip-svr] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"env2vec/internal/experiments"
+)
+
+func main() {
+	table3Only := flag.Bool("table3", false, "print only Table 3 (dataset splits)")
+	quick := flag.Bool("quick", false, "use unit-test-scale settings (seconds, not minutes)")
+	seeds := flag.Int("seeds", 0, "override number of seeds for neural methods")
+	epochs := flag.Int("epochs", 0, "override max training epochs")
+	hidden := flag.Int("hidden", 0, "override hidden width")
+	skipSVR := flag.Bool("skip-svr", false, "skip the SVR baseline (slowest method)")
+	flag.Parse()
+
+	fmt.Println("Table 3 — KDN dataset splits")
+	fmt.Println(experiments.Table3())
+	if *table3Only {
+		return
+	}
+
+	opts := experiments.DefaultTable4Options()
+	if *quick {
+		opts = experiments.QuickTable4Options()
+	}
+	if *seeds > 0 {
+		opts.Seeds = *seeds
+	}
+	if *epochs > 0 {
+		opts.Epochs = *epochs
+	}
+	if *hidden > 0 {
+		opts.Hidden = *hidden
+	}
+	if *skipSVR {
+		opts.SkipSVR = true
+	}
+
+	fmt.Printf("Running Table 4 (seeds=%d epochs=%d hidden=%d svr=%v)...\n\n",
+		opts.Seeds, opts.Epochs, opts.Hidden, !opts.SkipSVR)
+	start := time.Now()
+	res, err := experiments.RunTable4(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kdnbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Table 4 — MAE/MSE on the three VNF datasets")
+	fmt.Println(experiments.RenderTable4(res))
+	fmt.Println("Paired t-test p-values (Env2Vec vs RFNN absolute errors):")
+	for vnf, p := range res.PairedP {
+		fmt.Printf("  %-9s p=%.4g\n", vnf, p)
+	}
+	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,53 @@
+// Command tsdbd runs the Prometheus-like time-series database substrate:
+// it scrapes /metrics from the targets listed in a file-based
+// service-discovery config (workflow step 1) and serves range queries over
+// HTTP (workflow step 3).
+//
+// Usage:
+//
+//	tsdbd -sd sd.json [-addr :9090] [-interval 15s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"env2vec/internal/tsdb"
+)
+
+func main() {
+	sd := flag.String("sd", "", "service-discovery JSON file (required)")
+	addr := flag.String("addr", ":9090", "listen address")
+	interval := flag.Duration("interval", 15*time.Second, "scrape interval")
+	flag.Parse()
+	if *sd == "" {
+		fmt.Fprintln(os.Stderr, "tsdbd: -sd is required")
+		os.Exit(2)
+	}
+	db := tsdb.New()
+	scraper := tsdb.NewScraper(db, *sd, *interval)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go scraper.Run(ctx)
+
+	srv := &http.Server{Addr: *addr, Handler: &tsdb.Handler{DB: db}}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	fmt.Printf("tsdbd listening on %s, scraping %s every %s\n", *addr, *sd, *interval)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "tsdbd:", err)
+		os.Exit(1)
+	}
+	scrapes, errs := scraper.Stats()
+	fmt.Printf("tsdbd stopped after %d scrapes (%d errors), %d series stored\n", scrapes, errs, db.NumSeries())
+}

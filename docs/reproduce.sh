@@ -1,0 +1,7 @@
+#!/bin/sh
+# Regenerates every experiment output recorded in EXPERIMENTS.md.
+# On a single commodity core the whole script takes ~45 minutes.
+set -e
+mkdir -p docs/outputs
+go run ./cmd/kdnbench -seeds 2 | tee docs/outputs/kdnbench.txt
+go run ./cmd/telecombench -slow -csv docs/outputs/figures | tee docs/outputs/telecombench.txt

@@ -1,0 +1,100 @@
+// Package env2vec is the public API of this repository: a from-scratch Go
+// implementation of "Env2Vec: Accelerating VNF Testing with Deep Learning"
+// (Piao, Nicholson, Lugones — EuroSys 2020).
+//
+// The facade re-exports the pieces a downstream user needs to train the
+// single generic Env2Vec model, detect performance anomalies in new
+// software builds, and reuse environment embeddings for previously unseen
+// environments:
+//
+//	corpus := env2vec.GenerateTelecomCorpus(env2vec.TelecomDefaults())
+//	trained, _ := env2vec.Train(corpus.Dataset, nil, env2vec.TrainerDefaults(env2vec.TelecomFeatureCount))
+//	detector := env2vec.NewDetector(trained, env2vec.DetectConfig{Gamma: 2, AbsFilter: 5})
+//	alarms := detector.ProcessExecution("env2vec", newBuildSeries)
+//
+// The heavy lifting lives in the internal packages (see DESIGN.md for the
+// full inventory); this package keeps the surface small and stable.
+package env2vec
+
+import (
+	"env2vec/internal/anomaly"
+	"env2vec/internal/core"
+	"env2vec/internal/dataset"
+	"env2vec/internal/envmeta"
+	"env2vec/internal/kdn"
+	"env2vec/internal/nn"
+	"env2vec/internal/pipeline"
+	"env2vec/internal/telecom"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Series is one test execution's contextual time series.
+	Series = dataset.Series
+	// Dataset is a collection of series sharing a feature schema.
+	Dataset = dataset.Dataset
+	// Example is one supervised window example.
+	Example = dataset.Example
+	// Environment is the <Testbed, SUT, Testcase, Build> tuple.
+	Environment = envmeta.Environment
+	// Schema encodes environments into embedding-table ids.
+	Schema = envmeta.Schema
+	// Model is the Env2Vec network.
+	Model = core.Model
+	// ModelConfig sizes the Env2Vec network.
+	ModelConfig = core.Config
+	// TrainerConfig controls the training pipeline.
+	TrainerConfig = pipeline.TrainerConfig
+	// Trained bundles the artifacts of one training run.
+	Trained = pipeline.TrainResult
+	// Detector is the prediction + anomaly-detection pipeline.
+	Detector = pipeline.Workflow
+	// DetectConfig holds γ and the absolute false-alarm filter.
+	DetectConfig = anomaly.Config
+	// Alarm is one reported problem interval.
+	Alarm = anomaly.Alarm
+	// TelecomConfig sizes the synthetic telecom corpus.
+	TelecomConfig = telecom.Config
+	// TelecomCorpus is the generated corpus plus evaluation bookkeeping.
+	TelecomCorpus = telecom.Corpus
+	// Snapshot is a serializable set of model weights.
+	Snapshot = nn.Snapshot
+)
+
+// TelecomFeatureCount is the contextual-feature dimensionality of the
+// synthetic telecom corpus.
+var TelecomFeatureCount = telecom.NumFeatures
+
+// KDNFeatureCount is the feature dimensionality of the KDN benchmark
+// stand-ins (86, as in the public datasets).
+const KDNFeatureCount = kdn.NumFeatures
+
+// TelecomDefaults returns the evaluation-scale telecom corpus configuration
+// (125 build chains, 11 fault executions).
+func TelecomDefaults() TelecomConfig { return telecom.DefaultConfig() }
+
+// GenerateTelecomCorpus synthesizes the carrier-grade testing corpus of
+// §4.2 (a documented substitution for the proprietary dataset).
+func GenerateTelecomCorpus(cfg TelecomConfig) *TelecomCorpus { return telecom.Generate(cfg) }
+
+// GenerateKDN synthesizes the three KDN benchmark stand-ins (Snort,
+// Firewall, Switch) with the published sizes and CPU moments.
+func GenerateKDN(seed int64) *Dataset { return kdn.GenerateAll(seed) }
+
+// TrainerDefaults returns a workable training configuration for
+// featureDim contextual features.
+func TrainerDefaults(featureDim int) TrainerConfig { return pipeline.DefaultTrainerConfig(featureDim) }
+
+// Train fits the single generic Env2Vec model on every series of ds not in
+// exclude (executions with confirmed problems are masked, per §3 step 2).
+func Train(ds *Dataset, exclude map[*Series]bool, cfg TrainerConfig) (*Trained, error) {
+	return pipeline.Train(ds, exclude, cfg)
+}
+
+// NewDetector assembles the prediction pipeline from training artifacts.
+func NewDetector(tr *Trained, detect DetectConfig) *Detector {
+	return pipeline.NewWorkflow(tr, detect)
+}
+
+// WindowExamples slides an RU-history window over a series.
+func WindowExamples(s *Series, window int) []Example { return dataset.WindowExamples(s, window) }

@@ -1,0 +1,92 @@
+package env2vec_test
+
+import (
+	"testing"
+
+	"env2vec"
+)
+
+// TestPublicAPIRoundTrip exercises the whole facade: corpus generation,
+// training, calibration, detection, and embedding reuse for an unseen
+// environment — the minimal adoption path a downstream user follows.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cfg := env2vec.TelecomDefaults()
+	cfg.Chains = 10
+	cfg.BuildsPerChain = 3
+	cfg.StepsPerBuild = 40
+	cfg.FaultExecutions = 2
+	corpus := env2vec.GenerateTelecomCorpus(cfg)
+	if len(corpus.FaultTargets) != 2 {
+		t.Fatalf("fault targets: %d", len(corpus.FaultTargets))
+	}
+
+	exclude := map[*env2vec.Series]bool{}
+	for _, exec := range corpus.FaultTargets {
+		exclude[exec.Series] = true
+	}
+	tcfg := env2vec.TrainerDefaults(env2vec.TelecomFeatureCount)
+	tcfg.Train.Epochs = 6
+	tcfg.Model.Hidden = 16
+	tcfg.Model.GRUHidden = 8
+	trained, err := env2vec.Train(corpus.Dataset, exclude, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trained.Examples == 0 {
+		t.Fatalf("no training examples")
+	}
+
+	det := env2vec.NewDetector(trained, env2vec.DetectConfig{Gamma: 2, AbsFilter: 5})
+	for _, id := range corpus.ChainOrder {
+		chain := corpus.ChainSeries[id]
+		det.CalibrateChain(id, chain[:len(chain)-1])
+	}
+	totalAlarms := 0
+	for _, exec := range corpus.FaultTargets {
+		alarms := det.ProcessExecution("env2vec", exec.Series)
+		totalAlarms += len(alarms)
+		for _, a := range alarms {
+			if a.ChainID != exec.Series.ChainID {
+				t.Fatalf("alarm attributed to wrong chain")
+			}
+		}
+	}
+	if totalAlarms == 0 {
+		t.Fatalf("no alarms on faulty executions")
+	}
+
+	// Embedding composition for an unseen tuple made of seen components.
+	seen := corpus.Dataset.Series[0].Env
+	unseen := env2vec.Environment{
+		Testbed: seen.Testbed, SUT: seen.SUT,
+		Testcase: seen.Testcase, Build: "Z99",
+	}
+	ids := trained.Schema.Encode(unseen)
+	emb := trained.Model.EmbeddingFor(ids)
+	if len(emb) != 4*tcfg.Model.EmbedDim {
+		t.Fatalf("embedding length %d", len(emb))
+	}
+}
+
+func TestKDNFacade(t *testing.T) {
+	ds := env2vec.GenerateKDN(1)
+	if len(ds.Series) != 3 {
+		t.Fatalf("want 3 KDN series")
+	}
+	if ds.Series[0].CF.Cols != env2vec.KDNFeatureCount {
+		t.Fatalf("feature count %d", ds.Series[0].CF.Cols)
+	}
+}
+
+func TestWindowExamplesFacade(t *testing.T) {
+	cfg := env2vec.TelecomDefaults()
+	cfg.Chains = 2
+	cfg.BuildsPerChain = 2
+	cfg.StepsPerBuild = 10
+	cfg.FaultExecutions = 0
+	corpus := env2vec.GenerateTelecomCorpus(cfg)
+	exs := env2vec.WindowExamples(corpus.Dataset.Series[0], 3)
+	if len(exs) != 7 {
+		t.Fatalf("examples: %d", len(exs))
+	}
+}

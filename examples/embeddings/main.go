@@ -1,0 +1,105 @@
+// Embeddings: learn environment embeddings on a telecom corpus, project
+// them to 2-D with PCA, and render the Figure 6 scatter as ASCII — similar
+// build types cluster together in the embedding space.
+//
+//	go run ./examples/embeddings
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"env2vec"
+	"env2vec/internal/envmeta"
+	"env2vec/internal/stats"
+)
+
+func main() {
+	cfg := env2vec.TelecomDefaults()
+	cfg.Chains = 40
+	cfg.BuildsPerChain = 3
+	cfg.StepsPerBuild = 60
+	corpus := env2vec.GenerateTelecomCorpus(cfg)
+
+	tcfg := env2vec.TrainerDefaults(env2vec.TelecomFeatureCount)
+	tcfg.Train.Epochs = 20
+	trained, err := env2vec.Train(corpus.Dataset, nil, tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Collect the unique environments and their concatenated embeddings.
+	seen := map[env2vec.Environment]bool{}
+	var envs []env2vec.Environment
+	for _, s := range corpus.Dataset.Series {
+		if !seen[s.Env] {
+			seen[s.Env] = true
+			envs = append(envs, s.Env)
+		}
+	}
+	sort.Slice(envs, func(i, j int) bool { return envs[i].String() < envs[j].String() })
+	ids := make([][envmeta.NumFeatures]int, len(envs))
+	for i, e := range envs {
+		ids[i] = trained.Schema.Encode(e)
+	}
+	mat := trained.Model.EmbeddingMatrix(ids)
+	pca, err := stats.FitPCA(mat, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proj := pca.Transform(mat)
+	fmt.Printf("%d environments; PCA explains %.0f%% + %.0f%% of embedding variance\n\n",
+		len(envs), 100*pca.Explained[0], 100*pca.Explained[1])
+
+	// ASCII scatter, labelled by build type (the marker letter).
+	const w, h = 72, 24
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = make([]byte, w)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i := 0; i < proj.Rows; i++ {
+		minX = math.Min(minX, proj.At(i, 0))
+		maxX = math.Max(maxX, proj.At(i, 0))
+		minY = math.Min(minY, proj.At(i, 1))
+		maxY = math.Max(maxY, proj.At(i, 1))
+	}
+	for i, e := range envs {
+		x := int((proj.At(i, 0) - minX) / (maxX - minX + 1e-12) * (w - 1))
+		y := int((proj.At(i, 1) - minY) / (maxY - minY + 1e-12) * (h - 1))
+		marker := byte('?')
+		if bt := e.BuildType(); bt != "" {
+			marker = bt[0]
+		}
+		grid[h-1-y][x] = marker
+	}
+	fmt.Println("Figure 6 — environment embeddings in 2-D (letters are build types):")
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+
+	// Quantify the clustering the plot shows.
+	intra, inter, ni, nj := 0.0, 0.0, 0, 0
+	for i := 0; i < len(envs); i++ {
+		for j := i + 1; j < len(envs); j++ {
+			dx := proj.At(i, 0) - proj.At(j, 0)
+			dy := proj.At(i, 1) - proj.At(j, 1)
+			d := math.Hypot(dx, dy)
+			if envs[i].BuildType() == envs[j].BuildType() {
+				intra += d
+				ni++
+			} else {
+				inter += d
+				nj++
+			}
+		}
+	}
+	fmt.Printf("\nmean distance within a build type: %.3f, across build types: %.3f (ratio %.2f)\n",
+		intra/float64(ni), inter/float64(nj), (inter/float64(nj))/(intra/float64(ni)))
+}

@@ -1,0 +1,137 @@
+// Testing-workflow: the full Figure 2 loop over real HTTP services.
+//
+//	(1) a testbed exporter serves workload/performance metrics, a TSDB
+//	    scrapes it via file-based service discovery;
+//	(2) the training pipeline fits the single Env2Vec model and publishes
+//	    it to a model registry;
+//	(3) the prediction pipeline rebuilds the execution from the TSDB and
+//	    fetches the latest model;
+//	(4) detected anomalies are pushed into the alarm database;
+//	(5) the latest model version is fetched before scoring.
+//
+//	go run ./examples/testing-workflow
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"env2vec/internal/alarmstore"
+	"env2vec/internal/anomaly"
+	"env2vec/internal/core"
+	"env2vec/internal/dataset"
+	"env2vec/internal/modelserver"
+	"env2vec/internal/pipeline"
+	"env2vec/internal/telecom"
+	"env2vec/internal/tsdb"
+)
+
+func main() {
+	// A small corpus; the first faulty execution is "the test being run".
+	cfg := telecom.SmallConfig()
+	cfg.StepsPerBuild = 50
+	corpus := telecom.Generate(cfg)
+	target := corpus.FaultTargets[0].Series
+	fmt.Printf("test case under execution: %s (%d timesteps)\n", target.Env, target.Len())
+
+	// ── Step 1: testbed data collection ────────────────────────────────
+	exporter, err := pipeline.NewExporter(target, corpus.Dataset.FeatureNames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	testbed := httptest.NewServer(exporter)
+	defer testbed.Close()
+
+	dir, err := os.MkdirTemp("", "env2vec-workflow")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sdPath := filepath.Join(dir, "sd.json")
+	emRecordID := "EM_" + target.Env.Testbed + "_" + target.Env.Build
+	if err := tsdb.AppendSDTarget(sdPath, strings.TrimPrefix(testbed.URL, "http://"),
+		map[string]string{"env": emRecordID}); err != nil {
+		log.Fatal(err)
+	}
+	db := tsdb.New()
+	scraper := tsdb.NewScraper(db, sdPath, time.Second)
+	for { // scrape every timestep of the execution
+		if _, err := scraper.ScrapeOnce(context.Background()); err != nil {
+			log.Fatal(err)
+		}
+		if !exporter.Advance() {
+			break
+		}
+	}
+	scrapes, errs := scraper.Stats()
+	fmt.Printf("step 1: scraped %d times (%d errors), %d series in TSDB\n", scrapes, errs, db.NumSeries())
+
+	// ── Step 2: model training + publication ───────────────────────────
+	exclude := map[*dataset.Series]bool{target: true}
+	tcfg := pipeline.DefaultTrainerConfig(telecom.NumFeatures)
+	tcfg.Train.Epochs = 12
+	tcfg.Model.Hidden, tcfg.Model.GRUHidden = 24, 12
+	trained, err := pipeline.Train(corpus.Dataset, exclude, tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	registry := modelserver.NewRegistry()
+	registrySrv := httptest.NewServer(&modelserver.Handler{Registry: registry, Now: time.Now().Unix})
+	defer registrySrv.Close()
+	client := &modelserver.Client{BaseURL: registrySrv.URL}
+	version, err := pipeline.PublishModel(client, "env2vec", trained)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 2: trained on %d examples, published model v%d\n", trained.Examples, version)
+
+	// ── Step 5 then 3: fetch latest model, rebuild execution from TSDB ─
+	serving := core.New(tcfg.Model, trained.Schema)
+	fetchedVersion, err := pipeline.FetchModel(client, "env2vec", serving)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rebuilt, err := pipeline.SeriesFromTSDB(db, emRecordID, target.Env, corpus.Dataset.FeatureNames, 0, 1<<62)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 3+5: fetched model v%d, rebuilt %d timesteps from the TSDB\n", fetchedVersion, rebuilt.Len())
+
+	// ── Step 4: detect and push alarms ──────────────────────────────────
+	wf := pipeline.NewWorkflow(trained, anomaly.Config{Gamma: 2, AbsFilter: 5})
+	wf.Model = serving // use the registry copy, proving steps 2→5 round-trip
+	chain := corpus.ChainSeries[target.ChainID]
+	wf.CalibrateChain(target.ChainID, chain[:len(chain)-1])
+	alarms := wf.ProcessExecution("env2vec", rebuilt)
+
+	store, err := alarmstore.Open(filepath.Join(dir, "alarms.jsonl"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	alarmSrv := httptest.NewServer(&alarmstore.Handler{Store: store, Now: time.Now().Unix})
+	defer alarmSrv.Close()
+	for _, a := range alarms {
+		if _, err := store.Push(a, time.Now().Unix()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("step 4: pushed %d alarm(s) into the alarm DB\n", len(alarms))
+	for _, rec := range store.Find(alarmstore.Query{ChainID: target.ChainID}) {
+		fmt.Printf("  alarm #%d %s\n", rec.ID, rec.Alarm)
+	}
+
+	// The alarm DB is queryable over HTTP too, as a testing engineer would.
+	resp, err := http.Get(alarmSrv.URL + "/alarms?chain=" + target.ChainID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fmt.Printf("alarm DB HTTP query status: %s\n", resp.Status)
+}

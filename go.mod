@@ -1,0 +1,3 @@
+module env2vec
+
+go 1.22

@@ -1,0 +1,222 @@
+// Package alarmstore is the alarm database of workflow step (4): Env2Vec
+// pushes alarms here so that testing engineers can pinpoint the testbed and
+// time interval of each detected issue (the paper uses PostgreSQL). The
+// store is an append-only JSON-lines file with an in-memory index and an
+// HTTP API, supporting the same queries the workflow needs: by chain, by
+// testbed, and by time range.
+package alarmstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+
+	"env2vec/internal/anomaly"
+)
+
+// Record is one stored alarm row.
+type Record struct {
+	ID        int           `json:"id"`
+	CreatedAt int64         `json:"created_at"` // unix seconds
+	Alarm     anomaly.Alarm `json:"alarm"`
+	Ack       bool          `json:"ack"` // acknowledged by an engineer
+}
+
+// Store is a concurrency-safe alarm database with optional file
+// persistence (empty path = memory only).
+type Store struct {
+	mu      sync.RWMutex
+	path    string
+	records []Record
+	nextID  int
+}
+
+// Open loads (or creates) a store at path; pass "" for memory-only.
+func Open(path string) (*Store, error) {
+	s := &Store{path: path, nextID: 1}
+	if path == "" {
+		return s, nil
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("alarmstore: open: %w", err)
+	}
+	defer f.Close()
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("alarmstore: corrupt record: %w", err)
+		}
+		s.records = append(s.records, rec)
+		if rec.ID >= s.nextID {
+			s.nextID = rec.ID + 1
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("alarmstore: scan: %w", err)
+	}
+	return s, nil
+}
+
+// Push appends an alarm, assigning an id, and persists it.
+func (s *Store) Push(a anomaly.Alarm, createdAt int64) (Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := Record{ID: s.nextID, CreatedAt: createdAt, Alarm: a}
+	s.nextID++
+	if s.path != "" {
+		f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return Record{}, fmt.Errorf("alarmstore: push: %w", err)
+		}
+		enc := json.NewEncoder(f)
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return Record{}, fmt.Errorf("alarmstore: push: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return Record{}, fmt.Errorf("alarmstore: push: %w", err)
+		}
+	}
+	s.records = append(s.records, rec)
+	return rec, nil
+}
+
+// Query filters stored alarms. Zero-valued fields are wildcards; time
+// bounds apply to CreatedAt (to=0 means no upper bound).
+type Query struct {
+	ChainID  string
+	Testbed  string
+	Detector string
+	From, To int64
+}
+
+// Find returns matching records ordered by id.
+func (s *Store) Find(q Query) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Record
+	for _, rec := range s.records {
+		if q.ChainID != "" && rec.Alarm.ChainID != q.ChainID {
+			continue
+		}
+		if q.Testbed != "" && rec.Alarm.Testbed != q.Testbed {
+			continue
+		}
+		if q.Detector != "" && rec.Alarm.Detector != q.Detector {
+			continue
+		}
+		if rec.CreatedAt < q.From {
+			continue
+		}
+		if q.To != 0 && rec.CreatedAt > q.To {
+			continue
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Acknowledge marks an alarm as handled by an engineer.
+func (s *Store) Acknowledge(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.records {
+		if s.records[i].ID == id {
+			s.records[i].Ack = true
+			return s.rewriteLocked()
+		}
+	}
+	return fmt.Errorf("alarmstore: alarm %d not found", id)
+}
+
+// rewriteLocked persists the full record set (used after in-place updates).
+func (s *Store) rewriteLocked() error {
+	if s.path == "" {
+		return nil
+	}
+	tmp := s.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("alarmstore: rewrite: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	for _, rec := range s.records {
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return fmt.Errorf("alarmstore: rewrite: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("alarmstore: rewrite: %w", err)
+	}
+	return os.Rename(tmp, s.path)
+}
+
+// Len returns the number of stored alarms.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// Handler exposes the store over HTTP:
+//
+//	POST /alarms              (JSON anomaly.Alarm body) → stored record
+//	GET  /alarms?chain=&testbed=&detector=&from=&to=    → matching records
+type Handler struct {
+	Store *Store
+	// Now supplies CreatedAt for pushed alarms; overridable in tests.
+	Now func() int64
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/alarms" {
+		http.NotFound(w, r)
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		var a anomaly.Alarm
+		if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+			http.Error(w, "bad alarm body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		now := int64(0)
+		if h.Now != nil {
+			now = h.Now()
+		}
+		rec, err := h.Store.Push(a, now)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		_ = json.NewEncoder(w).Encode(rec)
+	case http.MethodGet:
+		q := Query{
+			ChainID:  r.URL.Query().Get("chain"),
+			Testbed:  r.URL.Query().Get("testbed"),
+			Detector: r.URL.Query().Get("detector"),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(h.Store.Find(q))
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}

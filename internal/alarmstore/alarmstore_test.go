@@ -1,0 +1,157 @@
+package alarmstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"env2vec/internal/anomaly"
+)
+
+func demoAlarm(chain string, start int) anomaly.Alarm {
+	return anomaly.Alarm{
+		Detector: "env2vec", ChainID: chain, Testbed: "tb1", Build: "S05",
+		StartIdx: start, EndIdx: start + 2, PeakDev: 7.5,
+	}
+}
+
+func TestPushFindMemory(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.Push(demoAlarm("c1", 5), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := s.Push(demoAlarm("c2", 9), 2000)
+	if r1.ID != 1 || r2.ID != 2 {
+		t.Fatalf("ids not sequential: %d %d", r1.ID, r2.ID)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Find(Query{ChainID: "c1"}); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("chain query wrong: %+v", got)
+	}
+	if got := s.Find(Query{From: 1500}); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("from query wrong: %+v", got)
+	}
+	if got := s.Find(Query{To: 1500}); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("to query wrong: %+v", got)
+	}
+	if got := s.Find(Query{Detector: "other"}); len(got) != 0 {
+		t.Fatalf("detector query wrong")
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "alarms.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = s.Push(demoAlarm("c1", 0), 10)
+	_, _ = s.Push(demoAlarm("c2", 1), 20)
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reloaded %d records", re.Len())
+	}
+	r3, _ := re.Push(demoAlarm("c3", 2), 30)
+	if r3.ID != 3 {
+		t.Fatalf("id sequence not restored: %d", r3.ID)
+	}
+}
+
+func TestAcknowledge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "alarms.jsonl")
+	s, _ := Open(path)
+	rec, _ := s.Push(demoAlarm("c1", 0), 10)
+	if err := s.Acknowledge(rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Acknowledge(999); err == nil {
+		t.Fatalf("missing id should error")
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Find(Query{}); !got[0].Ack {
+		t.Fatalf("ack not persisted")
+	}
+}
+
+func TestOpenCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("{notjson\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatalf("corrupt file should error")
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	s, _ := Open("")
+	h := &Handler{Store: s, Now: func() int64 { return 42 }}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	body, _ := json.Marshal(demoAlarm("c9", 3))
+	resp, err := http.Post(srv.URL+"/alarms", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("post status %d", resp.StatusCode)
+	}
+	var rec Record
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.CreatedAt != 42 || rec.Alarm.ChainID != "c9" {
+		t.Fatalf("record wrong: %+v", rec)
+	}
+
+	get, err := http.Get(srv.URL + "/alarms?chain=c9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	var recs []Record
+	if err := json.NewDecoder(get.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+
+	// Bad body → 400.
+	bad, _ := http.Post(srv.URL+"/alarms", "application/json", bytes.NewBufferString("{"))
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status %d", bad.StatusCode)
+	}
+	// Wrong path → 404; wrong method → 405.
+	nf, _ := http.Get(srv.URL + "/other")
+	nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Fatalf("not-found status %d", nf.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/alarms", nil)
+	del, _ := http.DefaultClient.Do(req)
+	del.Body.Close()
+	if del.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("method status %d", del.StatusCode)
+	}
+}

@@ -1,0 +1,213 @@
+// Package anomaly implements the contextual anomaly detection layer of
+// Env2Vec (§3.2 "Anomaly detection" and §4.2.2): a Gaussian model of
+// prediction errors from previous non-problematic builds, γ·σ thresholding,
+// the 5% absolute-deviation false-alarm filter, merging of flagged
+// timesteps into alarm intervals, and evaluation of pooled alarms against
+// ground-truth labels (true/false alarm rates A_T and A_F).
+package anomaly
+
+import (
+	"fmt"
+	"math"
+
+	"env2vec/internal/dataset"
+	"env2vec/internal/metrics"
+	"env2vec/internal/stats"
+)
+
+// ErrorModel is the Gaussian fitted to the prediction errors of previous
+// builds in a chain.
+type ErrorModel struct {
+	Dist    stats.Gaussian
+	Samples int
+}
+
+// FitErrorModel builds the error distribution from predictions and
+// observations on historical (non-problematic) builds.
+func FitErrorModel(pred, actual []float64) ErrorModel {
+	errs := metrics.Errors(pred, actual)
+	return ErrorModel{Dist: stats.FitGaussian(errs), Samples: len(errs)}
+}
+
+// Config controls detection.
+type Config struct {
+	// Gamma is the γ multiplier on σ_error: larger values mean stricter
+	// criteria, higher precision, lower recall.
+	Gamma float64
+	// AbsFilter additionally requires |y'−y| to exceed this many absolute
+	// units (5.0 CPU points in §4.2.2); 0 disables the filter.
+	AbsFilter float64
+}
+
+// Flag returns per-timestep anomaly flags: timestep p is flagged when the
+// error deviates from μ_error by more than γ·σ_error and (if enabled)
+// |pred−actual| exceeds the absolute filter.
+func Flag(pred, actual []float64, em ErrorModel, cfg Config) []bool {
+	if len(pred) != len(actual) {
+		panic(fmt.Sprintf("anomaly: length mismatch %d vs %d", len(pred), len(actual)))
+	}
+	if cfg.Gamma <= 0 {
+		panic(fmt.Sprintf("anomaly: gamma must be positive, got %v", cfg.Gamma))
+	}
+	out := make([]bool, len(pred))
+	for i := range pred {
+		e := pred[i] - actual[i]
+		dev := math.Abs(e - em.Dist.Mu)
+		if dev <= cfg.Gamma*em.Dist.Sigma {
+			continue
+		}
+		if cfg.AbsFilter > 0 && math.Abs(e) < cfg.AbsFilter {
+			continue
+		}
+		out[i] = true
+	}
+	return out
+}
+
+// SelfFlag handles the unseen-environment case of §4.3, where no historical
+// error distribution exists: the error model is fitted on the test
+// execution's own errors, then thresholded with γ.
+func SelfFlag(pred, actual []float64, cfg Config) []bool {
+	em := FitErrorModel(pred, actual)
+	return Flag(pred, actual, em, cfg)
+}
+
+// Alarm is one reported problem interval, carrying everything a testing
+// engineer needs to locate the issue (step 4 of the workflow).
+type Alarm struct {
+	Detector  string
+	ChainID   string
+	Testbed   string
+	Build     string
+	StartIdx  int   // first flagged timestep (inclusive)
+	EndIdx    int   // last flagged timestep (inclusive)
+	StartTime int64 // unix seconds; 0 when the series carries no timestamps
+	EndTime   int64
+	PeakDev   float64 // largest |pred−actual| in the interval
+}
+
+// Duration returns the number of flagged timesteps covered by the alarm.
+func (a Alarm) Duration() int { return a.EndIdx - a.StartIdx + 1 }
+
+// String implements fmt.Stringer.
+func (a Alarm) String() string {
+	return fmt.Sprintf("[%s] chain=%s testbed=%s build=%s steps=%d..%d peak=%.2f",
+		a.Detector, a.ChainID, a.Testbed, a.Build, a.StartIdx, a.EndIdx, a.PeakDev)
+}
+
+// MergeAlarms converts per-timestep flags into alarms, merging runs of
+// consecutive flagged steps (allowing gaps up to maxGap unflagged steps)
+// into single intervals.
+func MergeAlarms(detector string, s *dataset.Series, flags []bool, pred []float64, maxGap int) []Alarm {
+	if len(flags) != s.Len() || len(pred) != s.Len() {
+		panic(fmt.Sprintf("anomaly: merge length mismatch flags=%d pred=%d series=%d", len(flags), len(pred), s.Len()))
+	}
+	var alarms []Alarm
+	inAlarm := false
+	gap := 0
+	var cur Alarm
+	flush := func() {
+		if inAlarm {
+			alarms = append(alarms, cur)
+			inAlarm = false
+		}
+	}
+	for i, f := range flags {
+		if !f {
+			if inAlarm {
+				gap++
+				if gap > maxGap {
+					flush()
+				}
+			}
+			continue
+		}
+		dev := math.Abs(pred[i] - s.RU[i])
+		if !inAlarm {
+			cur = Alarm{
+				Detector: detector, ChainID: s.ChainID,
+				Testbed: s.Env.Testbed, Build: s.Env.Build,
+				StartIdx: i, EndIdx: i, PeakDev: dev,
+			}
+			if len(s.Times) == s.Len() {
+				cur.StartTime = s.Times[i]
+			}
+			inAlarm = true
+		} else {
+			cur.EndIdx = i
+			if dev > cur.PeakDev {
+				cur.PeakDev = dev
+			}
+		}
+		if len(s.Times) == s.Len() {
+			cur.EndTime = s.Times[i]
+		}
+		gap = 0
+	}
+	flush()
+	return alarms
+}
+
+// Evaluate scores alarms against the series' ground-truth labels: an alarm
+// is correct when its interval overlaps at least one labelled anomalous
+// timestep (the paper's testing engineers confirmed alarms the same way —
+// by inspecting the flagged interval).
+func Evaluate(alarms []Alarm, s *dataset.Series) metrics.AlarmStats {
+	st := metrics.AlarmStats{Alarms: len(alarms)}
+	if s.Anomalous == nil {
+		return st
+	}
+	for _, a := range alarms {
+		for i := a.StartIdx; i <= a.EndIdx && i < s.Len(); i++ {
+			if s.Anomalous[i] {
+				st.Correct++
+				break
+			}
+		}
+	}
+	return st
+}
+
+// TrueEpisodes counts maximal runs of labelled anomalous timesteps — the
+// ground-truth "performance problems" of Table 5 (the paper had 35).
+func TrueEpisodes(s *dataset.Series) int {
+	if s.Anomalous == nil {
+		return 0
+	}
+	n := 0
+	prev := false
+	for _, a := range s.Anomalous {
+		if a && !prev {
+			n++
+		}
+		prev = a
+	}
+	return n
+}
+
+// DetectedEpisodes counts how many ground-truth episodes are covered by at
+// least one alarm (a recall-style view the paper reports as "detected
+// performance problems").
+func DetectedEpisodes(alarms []Alarm, s *dataset.Series) int {
+	if s.Anomalous == nil {
+		return 0
+	}
+	covered := 0
+	start := -1
+	for i := 0; i <= s.Len(); i++ {
+		anom := i < s.Len() && s.Anomalous[i]
+		if anom && start < 0 {
+			start = i
+		}
+		if !anom && start >= 0 {
+			for _, a := range alarms {
+				if a.StartIdx <= i-1 && a.EndIdx >= start {
+					covered++
+					break
+				}
+			}
+			start = -1
+		}
+	}
+	return covered
+}

@@ -1,0 +1,28 @@
+package anomaly_test
+
+import (
+	"fmt"
+
+	"env2vec/internal/anomaly"
+)
+
+func ExampleFlag() {
+	// Error model from a previous (healthy) build of the chain.
+	histPred := []float64{50.1, 49.8, 50.2, 50.0, 49.9}
+	histActual := []float64{50.0, 50.0, 50.0, 50.0, 50.0}
+	em := anomaly.FitErrorModel(histPred, histActual)
+
+	// The new build: the model underpredicts step 2 by 12 CPU points — a
+	// genuine deviation — while step 1's small error stays inside γ·σ.
+	pred := []float64{50.0, 50.1, 48.0}
+	actual := []float64{50.0, 50.0, 60.0}
+	flags := anomaly.Flag(pred, actual, em, anomaly.Config{Gamma: 2, AbsFilter: 5})
+	fmt.Println(flags)
+	// Output: [false false true]
+}
+
+func ExampleAlarm_Duration() {
+	a := anomaly.Alarm{StartIdx: 10, EndIdx: 14}
+	fmt.Println(a.Duration())
+	// Output: 5
+}

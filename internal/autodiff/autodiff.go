@@ -1,0 +1,403 @@
+// Package autodiff implements reverse-mode automatic differentiation over
+// dense matrices. It is the numerical core beneath the neural-network layers
+// in internal/nn: every Env2Vec component (FNN, GRU, embeddings, Hadamard
+// prediction head) is expressed as a composition of the operations defined
+// here, and gradients are obtained by a single backward sweep over the tape.
+//
+// Usage pattern:
+//
+//	tape := autodiff.NewTape()
+//	x := tape.Constant(input)
+//	w := tape.Param(weights) // leaf whose gradient is accumulated
+//	y := tape.Sigmoid(tape.MatMul(x, w))
+//	loss := tape.MSE(y, target)
+//	tape.Backward(loss)
+//	// w.Grad now holds ∂loss/∂w
+//
+// Tapes are single-use: build the graph, run Backward once, read gradients.
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"env2vec/internal/tensor"
+)
+
+// Node is a value in the computation graph together with the gradient of
+// the final scalar output with respect to it.
+type Node struct {
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+	// back propagates this node's Grad into its inputs. Nil for leaves.
+	back func()
+	// requiresGrad marks nodes on a path from a parameter; constant
+	// subtrees are skipped during the backward sweep.
+	requiresGrad bool
+	id           int
+}
+
+// Tape records operations in execution order so Backward can replay them in
+// reverse.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+func (t *Tape) newNode(v *tensor.Matrix, requiresGrad bool, back func()) *Node {
+	n := &Node{Value: v, requiresGrad: requiresGrad, back: back, id: len(t.nodes)}
+	if requiresGrad {
+		n.Grad = tensor.New(v.Rows, v.Cols)
+	}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Constant adds a leaf that does not require gradients.
+func (t *Tape) Constant(v *tensor.Matrix) *Node { return t.newNode(v, false, nil) }
+
+// Param adds a leaf parameter whose gradient is wanted. The matrix is used
+// by reference, so the caller's storage is shared.
+func (t *Tape) Param(v *tensor.Matrix) *Node { return t.newNode(v, true, nil) }
+
+// Backward runs the reverse sweep seeding ∂out/∂out = 1. The output must be
+// a 1×1 scalar node produced by this tape.
+func (t *Tape) Backward(out *Node) {
+	if out.Value.Rows != 1 || out.Value.Cols != 1 {
+		panic(fmt.Sprintf("autodiff: Backward requires scalar output, got %dx%d", out.Value.Rows, out.Value.Cols))
+	}
+	if !out.requiresGrad {
+		return // nothing on the tape depends on a parameter
+	}
+	out.Grad.Data[0] = 1
+	for i := out.id; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.requiresGrad && n.back != nil {
+			n.back()
+		}
+	}
+}
+
+// MatMul returns a×b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	v := tensor.MatMul(a.Value, b.Value)
+	req := a.requiresGrad || b.requiresGrad
+	var out *Node
+	out = t.newNode(v, req, func() {
+		if a.requiresGrad {
+			a.Grad.AddInPlace(tensor.MatMul(out.Grad, b.Value.Transpose()))
+		}
+		if b.requiresGrad {
+			b.Grad.AddInPlace(tensor.MatMul(a.Value.Transpose(), out.Grad))
+		}
+	})
+	return out
+}
+
+// Add returns a+b elementwise.
+func (t *Tape) Add(a, b *Node) *Node {
+	v := tensor.Add(a.Value, b.Value)
+	req := a.requiresGrad || b.requiresGrad
+	var out *Node
+	out = t.newNode(v, req, func() {
+		if a.requiresGrad {
+			a.Grad.AddInPlace(out.Grad)
+		}
+		if b.requiresGrad {
+			b.Grad.AddInPlace(out.Grad)
+		}
+	})
+	return out
+}
+
+// Sub returns a−b elementwise.
+func (t *Tape) Sub(a, b *Node) *Node {
+	v := tensor.Sub(a.Value, b.Value)
+	req := a.requiresGrad || b.requiresGrad
+	var out *Node
+	out = t.newNode(v, req, func() {
+		if a.requiresGrad {
+			a.Grad.AddInPlace(out.Grad)
+		}
+		if b.requiresGrad {
+			g := tensor.Scale(out.Grad, -1)
+			b.Grad.AddInPlace(g)
+		}
+	})
+	return out
+}
+
+// Mul returns the Hadamard product a⊙b.
+func (t *Tape) Mul(a, b *Node) *Node {
+	v := tensor.Mul(a.Value, b.Value)
+	req := a.requiresGrad || b.requiresGrad
+	var out *Node
+	out = t.newNode(v, req, func() {
+		if a.requiresGrad {
+			a.Grad.AddInPlace(tensor.Mul(out.Grad, b.Value))
+		}
+		if b.requiresGrad {
+			b.Grad.AddInPlace(tensor.Mul(out.Grad, a.Value))
+		}
+	})
+	return out
+}
+
+// Scale returns s·a for a constant scalar s.
+func (t *Tape) Scale(a *Node, s float64) *Node {
+	v := tensor.Scale(a.Value, s)
+	var out *Node
+	out = t.newNode(v, a.requiresGrad, func() {
+		if a.requiresGrad {
+			a.Grad.AddInPlace(tensor.Scale(out.Grad, s))
+		}
+	})
+	return out
+}
+
+// AddRowBroadcast adds a 1×c bias row b to every row of a (a is r×c).
+func (t *Tape) AddRowBroadcast(a, b *Node) *Node {
+	v := tensor.AddRowBroadcast(a.Value, b.Value)
+	req := a.requiresGrad || b.requiresGrad
+	var out *Node
+	out = t.newNode(v, req, func() {
+		if a.requiresGrad {
+			a.Grad.AddInPlace(out.Grad)
+		}
+		if b.requiresGrad {
+			for i := 0; i < out.Grad.Rows; i++ {
+				row := out.Grad.Row(i)
+				for j, g := range row {
+					b.Grad.Data[j] += g
+				}
+			}
+		}
+	})
+	return out
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Sigmoid applies the logistic function elementwise.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	v := tensor.Apply(a.Value, sigmoid)
+	var out *Node
+	out = t.newNode(v, a.requiresGrad, func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i, s := range out.Value.Data {
+			a.Grad.Data[i] += out.Grad.Data[i] * s * (1 - s)
+		}
+	})
+	return out
+}
+
+// Tanh applies tanh elementwise.
+func (t *Tape) Tanh(a *Node) *Node {
+	v := tensor.Apply(a.Value, math.Tanh)
+	var out *Node
+	out = t.newNode(v, a.requiresGrad, func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i, th := range out.Value.Data {
+			a.Grad.Data[i] += out.Grad.Data[i] * (1 - th*th)
+		}
+	})
+	return out
+}
+
+// ReLU applies max(0,x) elementwise.
+func (t *Tape) ReLU(a *Node) *Node {
+	v := tensor.Apply(a.Value, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+	var out *Node
+	out = t.newNode(v, a.requiresGrad, func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i, x := range a.Value.Data {
+			if x > 0 {
+				a.Grad.Data[i] += out.Grad.Data[i]
+			}
+		}
+	})
+	return out
+}
+
+// Exp applies e^x elementwise.
+func (t *Tape) Exp(a *Node) *Node {
+	v := tensor.Apply(a.Value, math.Exp)
+	var out *Node
+	out = t.newNode(v, a.requiresGrad, func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i, e := range out.Value.Data {
+			a.Grad.Data[i] += out.Grad.Data[i] * e
+		}
+	})
+	return out
+}
+
+// Reciprocal applies 1/x elementwise; the caller must keep inputs away
+// from zero (softmax denominators are strictly positive).
+func (t *Tape) Reciprocal(a *Node) *Node {
+	v := tensor.Apply(a.Value, func(x float64) float64 { return 1 / x })
+	var out *Node
+	out = t.newNode(v, a.requiresGrad, func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i, r := range out.Value.Data {
+			a.Grad.Data[i] -= out.Grad.Data[i] * r * r
+		}
+	})
+	return out
+}
+
+// OneMinus returns 1−a elementwise (used by GRU gating).
+func (t *Tape) OneMinus(a *Node) *Node {
+	v := tensor.Apply(a.Value, func(x float64) float64 { return 1 - x })
+	var out *Node
+	out = t.newNode(v, a.requiresGrad, func() {
+		if a.requiresGrad {
+			a.Grad.AddInPlace(tensor.Scale(out.Grad, -1))
+		}
+	})
+	return out
+}
+
+// ConcatCols returns [a | b].
+func (t *Tape) ConcatCols(a, b *Node) *Node {
+	v := tensor.ConcatCols(a.Value, b.Value)
+	req := a.requiresGrad || b.requiresGrad
+	ac := a.Value.Cols
+	var out *Node
+	out = t.newNode(v, req, func() {
+		if a.requiresGrad {
+			a.Grad.AddInPlace(out.Grad.SliceCols(0, ac))
+		}
+		if b.requiresGrad {
+			b.Grad.AddInPlace(out.Grad.SliceCols(ac, out.Grad.Cols))
+		}
+	})
+	return out
+}
+
+// SliceColsNode extracts columns [from,to) with gradients scattered back
+// into the sliced range.
+func (t *Tape) SliceColsNode(a *Node, from, to int) *Node {
+	v := a.Value.SliceCols(from, to)
+	var out *Node
+	out = t.newNode(v, a.requiresGrad, func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i := 0; i < out.Grad.Rows; i++ {
+			grow := out.Grad.Row(i)
+			arow := a.Grad.Row(i)
+			for j, g := range grow {
+				arow[from+j] += g
+			}
+		}
+	})
+	return out
+}
+
+// GatherRows selects rows idx[i] of the table node; used for embedding
+// lookups. The gradient scatters back into the selected rows.
+func (t *Tape) GatherRows(table *Node, idx []int) *Node {
+	v := tensor.GatherRows(table.Value, idx)
+	var out *Node
+	out = t.newNode(v, table.requiresGrad, func() {
+		if !table.requiresGrad {
+			return
+		}
+		for i, r := range idx {
+			grow := out.Grad.Row(i)
+			trow := table.Grad.Row(r)
+			for j, g := range grow {
+				trow[j] += g
+			}
+		}
+	})
+	return out
+}
+
+// SumRows reduces each row of a to a single value, producing r×1.
+func (t *Tape) SumRows(a *Node) *Node {
+	v := tensor.New(a.Value.Rows, 1)
+	for i := 0; i < a.Value.Rows; i++ {
+		s := 0.0
+		for _, x := range a.Value.Row(i) {
+			s += x
+		}
+		v.Data[i] = s
+	}
+	var out *Node
+	out = t.newNode(v, a.requiresGrad, func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i := 0; i < a.Grad.Rows; i++ {
+			g := out.Grad.Data[i]
+			row := a.Grad.Row(i)
+			for j := range row {
+				row[j] += g
+			}
+		}
+	})
+	return out
+}
+
+// Sum reduces all elements of a to a 1×1 scalar.
+func (t *Tape) Sum(a *Node) *Node {
+	v := tensor.FromSlice(1, 1, []float64{a.Value.Sum()})
+	var out *Node
+	out = t.newNode(v, a.requiresGrad, func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := out.Grad.Data[0]
+		for i := range a.Grad.Data {
+			a.Grad.Data[i] += g
+		}
+	})
+	return out
+}
+
+// Mean reduces all elements of a to their mean as a 1×1 scalar.
+func (t *Tape) Mean(a *Node) *Node {
+	n := float64(len(a.Value.Data))
+	return t.Scale(t.Sum(a), 1/n)
+}
+
+// MSE returns the scalar mean squared error between pred and the constant
+// target matrix.
+func (t *Tape) MSE(pred *Node, target *tensor.Matrix) *Node {
+	diff := t.Sub(pred, t.Constant(target))
+	return t.Mean(t.Mul(diff, diff))
+}
+
+// Dropout zeroes elements of a according to the supplied binary mask and
+// rescales survivors by 1/keep ("inverted dropout"). The mask is supplied by
+// the caller so that training code controls randomness; pass nil to make
+// this a no-op (inference).
+func (t *Tape) Dropout(a *Node, mask *tensor.Matrix, keep float64) *Node {
+	if mask == nil {
+		return a
+	}
+	if keep <= 0 || keep > 1 {
+		panic(fmt.Sprintf("autodiff: Dropout keep=%v out of (0,1]", keep))
+	}
+	scaled := tensor.Scale(mask, 1/keep)
+	return t.Mul(a, t.Constant(scaled))
+}

@@ -1,0 +1,334 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"env2vec/internal/tensor"
+)
+
+// numericalGrad computes the finite-difference gradient of loss() with
+// respect to param, where loss rebuilds the whole graph from current
+// parameter values.
+func numericalGrad(param *tensor.Matrix, loss func() float64) *tensor.Matrix {
+	const h = 1e-6
+	g := tensor.New(param.Rows, param.Cols)
+	for i := range param.Data {
+		orig := param.Data[i]
+		param.Data[i] = orig + h
+		up := loss()
+		param.Data[i] = orig - h
+		down := loss()
+		param.Data[i] = orig
+		g.Data[i] = (up - down) / (2 * h)
+	}
+	return g
+}
+
+// checkGrad builds the graph via build (which must register params on the
+// tape it is given and return the scalar loss node), and compares analytic
+// gradients against finite differences for every parameter.
+func checkGrad(t *testing.T, params []*tensor.Matrix, build func(tp *Tape) *Node) {
+	t.Helper()
+	tape := NewTape()
+	loss := build(tape)
+	tape.Backward(loss)
+	analytic := make([]*tensor.Matrix, len(params))
+	// Re-run to find each param node's grad: we require build to call
+	// tape.Param on params in order, so capture via a fresh tape.
+	tape2 := NewTape()
+	var nodes []*Node
+	orig := tape2.Param
+	_ = orig
+	// Instead of hooking, rebuild and track: build must use tp.Param for
+	// each matrix in params, in order. We verify by matching pointers.
+	loss2 := build(tape2)
+	tape2.Backward(loss2)
+	for _, n := range tape2.nodes {
+		if n.back == nil && n.requiresGrad {
+			nodes = append(nodes, n)
+		}
+	}
+	if len(nodes) != len(params) {
+		t.Fatalf("expected %d params on tape, found %d", len(params), len(nodes))
+	}
+	for i, n := range nodes {
+		if n.Value != params[i] {
+			t.Fatalf("param %d not registered in order", i)
+		}
+		analytic[i] = n.Grad
+	}
+	for pi, p := range params {
+		numeric := numericalGrad(p, func() float64 {
+			tp := NewTape()
+			return build(tp).Value.Data[0]
+		})
+		for i := range p.Data {
+			a, n := analytic[pi].Data[i], numeric.Data[i]
+			if math.Abs(a-n) > 1e-4*(1+math.Abs(n)) {
+				t.Fatalf("param %d elem %d: analytic %g vs numeric %g", pi, i, a, n)
+			}
+		}
+	}
+}
+
+func randMat(rng *rand.Rand, r, c int) *tensor.Matrix {
+	m := tensor.New(r, c)
+	m.RandNormal(rng, 0.7)
+	return m
+}
+
+func TestGradMatMulChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w1 := randMat(rng, 4, 5)
+	w2 := randMat(rng, 5, 2)
+	x := randMat(rng, 3, 4)
+	y := randMat(rng, 3, 2)
+	checkGrad(t, []*tensor.Matrix{w1, w2}, func(tp *Tape) *Node {
+		h := tp.MatMul(tp.Constant(x), tp.Param(w1))
+		out := tp.MatMul(h, tp.Param(w2))
+		return tp.MSE(out, y)
+	})
+}
+
+func TestGradSigmoidTanhReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := randMat(rng, 3, 3)
+	x := randMat(rng, 2, 3)
+	y := randMat(rng, 2, 3)
+	checkGrad(t, []*tensor.Matrix{w}, func(tp *Tape) *Node {
+		h := tp.MatMul(tp.Constant(x), tp.Param(w))
+		out := tp.ReLU(tp.Tanh(tp.Sigmoid(h)))
+		return tp.MSE(out, y)
+	})
+}
+
+func TestGradBiasBroadcast(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := randMat(rng, 4, 3)
+	b := randMat(rng, 1, 3)
+	x := randMat(rng, 5, 4)
+	y := randMat(rng, 5, 3)
+	checkGrad(t, []*tensor.Matrix{w, b}, func(tp *Tape) *Node {
+		h := tp.AddRowBroadcast(tp.MatMul(tp.Constant(x), tp.Param(w)), tp.Param(b))
+		return tp.MSE(tp.Sigmoid(h), y)
+	})
+}
+
+func TestGradAddSubMulScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randMat(rng, 2, 3)
+	b := randMat(rng, 2, 3)
+	y := randMat(rng, 2, 3)
+	checkGrad(t, []*tensor.Matrix{a, b}, func(tp *Tape) *Node {
+		na, nb := tp.Param(a), tp.Param(b)
+		expr := tp.Scale(tp.Mul(tp.Add(na, nb), tp.Sub(na, nb)), 0.5)
+		return tp.MSE(expr, y)
+	})
+}
+
+func TestGradConcatAndSumRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randMat(rng, 3, 2)
+	b := randMat(rng, 3, 4)
+	y := randMat(rng, 3, 1)
+	checkGrad(t, []*tensor.Matrix{a, b}, func(tp *Tape) *Node {
+		cat := tp.ConcatCols(tp.Param(a), tp.Param(b))
+		return tp.MSE(tp.SumRows(tp.Tanh(cat)), y)
+	})
+}
+
+func TestGradGatherRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	table := randMat(rng, 5, 3)
+	y := randMat(rng, 4, 3)
+	idx := []int{0, 2, 2, 4} // repeated index exercises gradient accumulation
+	checkGrad(t, []*tensor.Matrix{table}, func(tp *Tape) *Node {
+		emb := tp.GatherRows(tp.Param(table), idx)
+		return tp.MSE(tp.Sigmoid(emb), y)
+	})
+}
+
+func TestGradOneMinus(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMat(rng, 2, 2)
+	y := randMat(rng, 2, 2)
+	checkGrad(t, []*tensor.Matrix{a}, func(tp *Tape) *Node {
+		return tp.MSE(tp.OneMinus(tp.Sigmoid(tp.Param(a))), y)
+	})
+}
+
+// TestGradGRUStyleCell composes the exact ops used by the GRU layer (update
+// gate, reset gate, candidate state, convex combination) and checks the full
+// backward-through-time gradient for a two-step unroll.
+func TestGradGRUStyleCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const hid = 3
+	wz := randMat(rng, 1, hid)
+	uz := randMat(rng, hid, hid)
+	wr := randMat(rng, 1, hid)
+	ur := randMat(rng, hid, hid)
+	wh := randMat(rng, 1, hid)
+	uh := randMat(rng, hid, hid)
+	xs := []*tensor.Matrix{randMat(rng, 2, 1), randMat(rng, 2, 1)}
+	y := randMat(rng, 2, hid)
+	checkGrad(t, []*tensor.Matrix{wz, uz, wr, ur, wh, uh}, func(tp *Tape) *Node {
+		nwz, nuz := tp.Param(wz), tp.Param(uz)
+		nwr, nur := tp.Param(wr), tp.Param(ur)
+		nwh, nuh := tp.Param(wh), tp.Param(uh)
+		h := tp.Constant(tensor.New(2, hid))
+		for _, x := range xs {
+			nx := tp.Constant(x)
+			z := tp.Sigmoid(tp.Add(tp.MatMul(nx, nwz), tp.MatMul(h, nuz)))
+			r := tp.Sigmoid(tp.Add(tp.MatMul(nx, nwr), tp.MatMul(h, nur)))
+			hc := tp.Tanh(tp.Add(tp.MatMul(nx, nwh), tp.MatMul(tp.Mul(r, h), nuh)))
+			h = tp.Add(tp.Mul(tp.OneMinus(z), hc), tp.Mul(z, h))
+		}
+		return tp.MSE(h, y)
+	})
+}
+
+func TestGradExpReciprocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randMat(rng, 2, 3)
+	// Shift values away from zero so 1/x stays well-conditioned.
+	for i := range a.Data {
+		a.Data[i] = 1.5 + math.Abs(a.Data[i])
+	}
+	y := randMat(rng, 2, 3)
+	checkGrad(t, []*tensor.Matrix{a}, func(tp *Tape) *Node {
+		return tp.MSE(tp.Reciprocal(tp.Exp(tp.Param(a))), y)
+	})
+}
+
+// TestGradSoftmaxComposition checks the exact softmax-over-steps shape the
+// attention layer uses: α_t = exp(s_t) / Σ exp(s_k).
+func TestGradSoftmaxComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	w := randMat(rng, 3, 1)
+	xs := []*tensor.Matrix{randMat(rng, 2, 3), randMat(rng, 2, 3), randMat(rng, 2, 3)}
+	y := randMat(rng, 2, 1)
+	checkGrad(t, []*tensor.Matrix{w}, func(tp *Tape) *Node {
+		nw := tp.Param(w)
+		var exps []*Node
+		var total *Node
+		for _, x := range xs {
+			e := tp.Exp(tp.MatMul(tp.Constant(x), nw))
+			exps = append(exps, e)
+			if total == nil {
+				total = e
+			} else {
+				total = tp.Add(total, e)
+			}
+		}
+		inv := tp.Reciprocal(total)
+		var mix *Node
+		for i, e := range exps {
+			contrib := tp.Mul(tp.Mul(e, inv), tp.Constant(tensor.FromSlice(2, 1, []float64{float64(i), float64(i) + 1})))
+			if mix == nil {
+				mix = contrib
+			} else {
+				mix = tp.Add(mix, contrib)
+			}
+		}
+		return tp.MSE(mix, y)
+	})
+}
+
+func TestDropoutMaskAndNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randMat(rng, 2, 4)
+	tape := NewTape()
+	na := tape.Constant(a)
+	if tape.Dropout(na, nil, 0.5) != na {
+		t.Fatalf("nil mask must be identity")
+	}
+	mask := tensor.FromRows([][]float64{{1, 0, 1, 0}, {0, 1, 0, 1}})
+	out := tape.Dropout(na, mask, 0.5)
+	for i, v := range out.Value.Data {
+		want := a.Data[i] * mask.Data[i] * 2
+		if math.Abs(v-want) > 1e-12 {
+			t.Fatalf("dropout elem %d: got %v want %v", i, v, want)
+		}
+	}
+}
+
+func TestGradThroughDropout(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	w := randMat(rng, 3, 4)
+	x := randMat(rng, 2, 3)
+	y := randMat(rng, 2, 4)
+	mask := tensor.FromRows([][]float64{{1, 0, 1, 1}, {0, 1, 1, 0}})
+	checkGrad(t, []*tensor.Matrix{w}, func(tp *Tape) *Node {
+		h := tp.MatMul(tp.Constant(x), tp.Param(w))
+		return tp.MSE(tp.Dropout(tp.Sigmoid(h), mask, 0.75), y)
+	})
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	tape := NewTape()
+	p := tape.Param(tensor.New(2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for non-scalar Backward")
+		}
+	}()
+	tape.Backward(p)
+}
+
+func TestBackwardOnConstantGraphIsNoOp(t *testing.T) {
+	tape := NewTape()
+	c := tape.Constant(tensor.FromSlice(1, 1, []float64{2}))
+	out := tape.Mean(c)
+	tape.Backward(out) // must not panic even though nothing requires grad
+	if out.Grad != nil {
+		t.Fatalf("constant graph should not allocate gradients")
+	}
+}
+
+func TestMeanValue(t *testing.T) {
+	tape := NewTape()
+	c := tape.Constant(tensor.FromRows([][]float64{{1, 2}, {3, 4}}))
+	if got := tape.Mean(c).Value.Data[0]; got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+// Property: for the scalar function f(w) = mean((x·w − y)²), the analytic
+// gradient matches finite differences for random shapes.
+func TestGradLinearRegressionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d := 1+rng.Intn(5), 1+rng.Intn(5)
+		x := randMat(rng, n, d)
+		w := randMat(rng, d, 1)
+		y := randMat(rng, n, 1)
+		build := func(tp *Tape) *Node {
+			return tp.MSE(tp.MatMul(tp.Constant(x), tp.Param(w)), y)
+		}
+		tape := NewTape()
+		loss := build(tape)
+		tape.Backward(loss)
+		var wnode *Node
+		for _, nd := range tape.nodes {
+			if nd.Value == w {
+				wnode = nd
+			}
+		}
+		numeric := numericalGrad(w, func() float64 {
+			tp := NewTape()
+			return build(tp).Value.Data[0]
+		})
+		for i := range w.Data {
+			if math.Abs(wnode.Grad.Data[i]-numeric.Data[i]) > 1e-4*(1+math.Abs(numeric.Data[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package baselines implements the comparison methods of §4.1.3: Ridge and
+// Ridge_ts regression, a Random Forest regressor, kernel support-vector
+// regression, the FNN baseline (via internal/nn.MLP), and RFNN — the
+// Env2Vec variant without environment embeddings that also powers the
+// RFNN_all ablation.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"env2vec/internal/nn"
+	"env2vec/internal/tensor"
+)
+
+// Predictor is a fitted point-prediction model over feature batches.
+type Predictor interface {
+	Predict(b *nn.Batch) []float64
+}
+
+// Ridge is L2-regularized linear regression fitted in closed form via the
+// normal equations and a Cholesky solve. The intercept is unpenalized
+// (handled by centering). UseWindow=true gives the paper's Ridge_ts
+// variant, which appends the n previous RU values to the features.
+type Ridge struct {
+	Alpha     float64
+	UseWindow bool
+
+	weights   []float64 // per (augmented) feature
+	intercept float64
+}
+
+// NewRidge returns an unfitted Ridge model.
+func NewRidge(alpha float64, useWindow bool) *Ridge {
+	return &Ridge{Alpha: alpha, UseWindow: useWindow}
+}
+
+// designMatrix builds the (optionally window-augmented) feature matrix.
+func (r *Ridge) designMatrix(b *nn.Batch) *tensor.Matrix {
+	if !r.UseWindow {
+		return b.X
+	}
+	if b.Window == nil {
+		panic("baselines: Ridge_ts requires a window in the batch")
+	}
+	return tensor.ConcatCols(b.X, b.Window)
+}
+
+// Fit solves the penalized normal equations on the batch.
+func (r *Ridge) Fit(b *nn.Batch) error {
+	x := r.designMatrix(b)
+	n, d := x.Rows, x.Cols
+	if n == 0 {
+		return fmt.Errorf("baselines: ridge fit on empty batch")
+	}
+	// Center features and target so the intercept is unpenalized.
+	xm := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j, v := range x.Row(i) {
+			xm[j] += v
+		}
+	}
+	for j := range xm {
+		xm[j] /= float64(n)
+	}
+	ym := 0.0
+	for i := 0; i < n; i++ {
+		ym += b.Y.Data[i]
+	}
+	ym /= float64(n)
+
+	// A = XcᵀXc + αI, rhs = Xcᵀyc.
+	a := tensor.New(d, d)
+	rhs := make([]float64, d)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		yc := b.Y.Data[i] - ym
+		for p := 0; p < d; p++ {
+			xp := row[p] - xm[p]
+			if xp == 0 {
+				continue
+			}
+			arow := a.Row(p)
+			for q := p; q < d; q++ {
+				arow[q] += xp * (row[q] - xm[q])
+			}
+			rhs[p] += xp * yc
+		}
+	}
+	for p := 0; p < d; p++ {
+		for q := 0; q < p; q++ {
+			a.Set(p, q, a.At(q, p))
+		}
+		a.Set(p, p, a.At(p, p)+r.Alpha)
+	}
+	w, err := solveSPD(a, rhs)
+	if err != nil {
+		return fmt.Errorf("baselines: ridge solve: %w", err)
+	}
+	r.weights = w
+	r.intercept = ym
+	for j, wj := range w {
+		r.intercept -= wj * xm[j]
+	}
+	return nil
+}
+
+// Predict implements Predictor.
+func (r *Ridge) Predict(b *nn.Batch) []float64 {
+	if r.weights == nil {
+		panic("baselines: Ridge.Predict before Fit")
+	}
+	x := r.designMatrix(b)
+	if x.Cols != len(r.weights) {
+		panic(fmt.Sprintf("baselines: ridge fitted on %d features, got %d", len(r.weights), x.Cols))
+	}
+	out := make([]float64, x.Rows)
+	for i := range out {
+		s := r.intercept
+		for j, v := range x.Row(i) {
+			s += v * r.weights[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Coefficients returns the fitted weights (augmented features for
+// Ridge_ts) and intercept; Figure 1's heatmap is built from these.
+func (r *Ridge) Coefficients() (weights []float64, intercept float64) {
+	return append([]float64(nil), r.weights...), r.intercept
+}
+
+// FitRidgeCV fits Ridge over the alpha grid of §4.1.3 ({0.001 … 1000}) and
+// keeps the model with the lowest validation MSE.
+func FitRidgeCV(train, val *nn.Batch, useWindow bool) (*Ridge, error) {
+	alphas := []float64{0.001, 0.01, 0.1, 1, 10, 100, 1000}
+	var best *Ridge
+	bestMSE := math.Inf(1)
+	for _, a := range alphas {
+		m := NewRidge(a, useWindow)
+		if err := m.Fit(train); err != nil {
+			return nil, err
+		}
+		mse := batchMSE(m, val)
+		if mse < bestMSE {
+			bestMSE = mse
+			best = m
+		}
+	}
+	return best, nil
+}
+
+func batchMSE(p Predictor, b *nn.Batch) float64 {
+	if b == nil || b.Len() == 0 {
+		return 0
+	}
+	pred := p.Predict(b)
+	s := 0.0
+	for i, v := range pred {
+		d := v - b.Y.Data[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// solveSPD solves A·x = b for symmetric positive-definite A using Cholesky
+// decomposition with a tiny diagonal bump retry for near-singular systems.
+func solveSPD(a *tensor.Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	for attempt := 0; attempt < 3; attempt++ {
+		l, ok := cholesky(a)
+		if !ok {
+			for i := 0; i < n; i++ {
+				a.Set(i, i, a.At(i, i)+1e-8*(1+a.At(i, i)))
+			}
+			continue
+		}
+		// Forward solve L·y = b.
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := b[i]
+			for k := 0; k < i; k++ {
+				s -= l.At(i, k) * y[k]
+			}
+			y[i] = s / l.At(i, i)
+		}
+		// Back solve Lᵀ·x = y.
+		x := make([]float64, n)
+		for i := n - 1; i >= 0; i-- {
+			s := y[i]
+			for k := i + 1; k < n; k++ {
+				s -= l.At(k, i) * x[k]
+			}
+			x[i] = s / l.At(i, i)
+		}
+		return x, nil
+	}
+	return nil, fmt.Errorf("matrix not positive definite after regularization")
+}
+
+// cholesky returns the lower-triangular factor of a, or ok=false when the
+// matrix is not positive definite.
+func cholesky(a *tensor.Matrix) (*tensor.Matrix, bool) {
+	n := a.Rows
+	l := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, false
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, true
+}

@@ -1,0 +1,206 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"env2vec/internal/nn"
+	"env2vec/internal/tensor"
+)
+
+// Kernel identifies an SVR kernel function (the paper tunes over
+// {linear, poly, rbf}).
+type Kernel int
+
+// Supported kernels.
+const (
+	KernelLinear Kernel = iota
+	KernelPoly
+	KernelRBF
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	switch k {
+	case KernelLinear:
+		return "linear"
+	case KernelPoly:
+		return "poly"
+	case KernelRBF:
+		return "rbf"
+	}
+	return fmt.Sprintf("Kernel(%d)", int(k))
+}
+
+// SVR is ε-insensitive support vector regression in representer form:
+// f(x) = Σ βᵢ·K(xᵢ,x) + b, trained with kernelized stochastic subgradient
+// descent (a Pegasos-style solver). This replaces scikit-learn's SMO solver
+// with identical model class and hyper-parameters: regularization Alpha,
+// kernel choice, and tube width Epsilon (§4.1.3).
+type SVR struct {
+	Alpha   float64 // L2 regularization strength
+	Epsilon float64 // insensitive-tube half-width
+	Kern    Kernel
+	Gamma   float64 // kernel coefficient; 0 → 1/d
+	Epochs  int
+	LR      float64
+	Seed    int64
+
+	support *tensor.Matrix // training inputs
+	beta    []float64
+	bias    float64
+}
+
+// NewSVR returns an unfitted SVR with solver defaults.
+func NewSVR(alpha, epsilon float64, kern Kernel) *SVR {
+	return &SVR{Alpha: alpha, Epsilon: epsilon, Kern: kern, Epochs: 60, LR: 0.05, Seed: 1}
+}
+
+func (s *SVR) kernel(a, b []float64) float64 {
+	switch s.Kern {
+	case KernelLinear:
+		return dot(a, b)
+	case KernelPoly:
+		return math.Pow(s.Gamma*dot(a, b)+1, 3)
+	case KernelRBF:
+		d := 0.0
+		for i := range a {
+			x := a[i] - b[i]
+			d += x * x
+		}
+		return math.Exp(-s.Gamma * d)
+	}
+	panic(fmt.Sprintf("baselines: unknown kernel %d", int(s.Kern)))
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Fit trains on the batch. Targets are internally centered so the bias
+// starts near the solution.
+func (s *SVR) Fit(b *nn.Batch) error {
+	n := b.Len()
+	if n == 0 {
+		return fmt.Errorf("baselines: svr fit on empty batch")
+	}
+	if s.Gamma == 0 {
+		s.Gamma = 1 / float64(b.X.Cols)
+	}
+	s.support = b.X.Clone()
+	s.beta = make([]float64, n)
+	s.bias = 0
+	for i := 0; i < n; i++ {
+		s.bias += b.Y.Data[i]
+	}
+	s.bias /= float64(n)
+
+	// Precompute the kernel matrix (n ≤ ~1k in our workloads).
+	k := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := s.kernel(b.X.Row(i), b.X.Row(j))
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	// f cache: f[i] = Σ β_j K(i,j) + bias, maintained incrementally.
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = s.bias
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	order := rng.Perm(n)
+	decay := 1 - s.LR*s.Alpha/float64(n)
+	if decay < 0.5 {
+		decay = 0.5
+	}
+	for epoch := 0; epoch < s.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			resid := b.Y.Data[i] - f[i]
+			if math.Abs(resid) <= s.Epsilon {
+				continue
+			}
+			step := s.LR
+			if resid < 0 {
+				step = -step
+			}
+			s.beta[i] += step
+			s.bias += step * 0.1
+			krow := k.Row(i)
+			for j := 0; j < n; j++ {
+				f[j] += step*krow[j] + step*0.1
+			}
+		}
+		// L2 shrinkage on the dual coefficients.
+		for i := range s.beta {
+			s.beta[i] *= decay
+		}
+		for j := 0; j < n; j++ {
+			f[j] = s.bias
+		}
+		for i, bi := range s.beta {
+			if bi == 0 {
+				continue
+			}
+			krow := k.Row(i)
+			for j := 0; j < n; j++ {
+				f[j] += bi * krow[j]
+			}
+		}
+	}
+	return nil
+}
+
+// Predict implements Predictor.
+func (s *SVR) Predict(b *nn.Batch) []float64 {
+	if s.support == nil {
+		panic("baselines: SVR.Predict before Fit")
+	}
+	out := make([]float64, b.Len())
+	for i := range out {
+		row := b.X.Row(i)
+		v := s.bias
+		for j := 0; j < s.support.Rows; j++ {
+			if s.beta[j] == 0 {
+				continue
+			}
+			v += s.beta[j] * s.kernel(s.support.Row(j), row)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// FitSVRCV searches a reduced version of the paper's SVR grid
+// (α ∈ {0.001…1000}, kernel ∈ {linear, poly, rbf}, ε ∈ {0.1…1}) on the
+// validation set.
+func FitSVRCV(train, val *nn.Batch) (*SVR, error) {
+	alphas := []float64{0.001, 0.1, 10, 1000}
+	kernels := []Kernel{KernelLinear, KernelPoly, KernelRBF}
+	epsilons := []float64{0.1, 0.5, 1}
+	var best *SVR
+	bestMSE := math.Inf(1)
+	for _, a := range alphas {
+		for _, k := range kernels {
+			for _, e := range epsilons {
+				m := NewSVR(a, e, k)
+				if err := m.Fit(train); err != nil {
+					return nil, err
+				}
+				mse := batchMSE(m, val)
+				if mse < bestMSE {
+					bestMSE = mse
+					best = m
+				}
+			}
+		}
+	}
+	return best, nil
+}

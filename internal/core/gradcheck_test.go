@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"env2vec/internal/autodiff"
+	"env2vec/internal/envmeta"
+)
+
+// TestFullModelGradientCheck validates the analytic gradients of the entire
+// Env2Vec computation graph — FNN tower, GRU over the window, embedding
+// lookups, dense layer, and the Hadamard prediction head — against central
+// finite differences, for every parameter. This is the strongest
+// correctness guarantee the model has: if any layer's backward rule were
+// wrong, training would still "work" (descend something), just not the MSE.
+func TestFullModelGradientCheck(t *testing.T) {
+	for _, head := range []Head{HeadHadamard, HeadBilinear, HeadMLP} {
+		head := head
+		t.Run(head.String(), func(t *testing.T) { gradCheckVariant(t, head, false) })
+	}
+	t.Run("attention", func(t *testing.T) { gradCheckVariant(t, HeadHadamard, true) })
+}
+
+func gradCheckVariant(t *testing.T, head Head, attention bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	schema := envmeta.NewSchema()
+	batch := twoEnvBatch(rng, schema, 5, 1.0)
+	cfg := Config{
+		In: 2, Hidden: 3, GRUHidden: 2, EmbedDim: 2, Window: 2,
+		Seed: 1, Head: head, Attention: attention,
+	}
+	m := New(cfg, schema)
+
+	loss := func() float64 {
+		tape := autodiff.NewTape()
+		return m.Loss(tape, batch, false, nil).Value.Data[0]
+	}
+
+	// Analytic gradients, snapshotted immediately: every later loss()
+	// evaluation re-binds the parameters to fresh tapes, which would
+	// otherwise clobber Grad().
+	tape := autodiff.NewTape()
+	l := m.Loss(tape, batch, false, nil)
+	tape.Backward(l)
+	analytic := make([][]float64, len(m.Params()))
+	for pi, p := range m.Params() {
+		g := p.Grad()
+		if g == nil {
+			t.Fatalf("param %s has no gradient", p.Name)
+		}
+		analytic[pi] = append([]float64(nil), g.Data...)
+	}
+
+	const h = 1e-6
+	for pi, p := range m.Params() {
+		grad := analytic[pi]
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + h
+			up := loss()
+			p.Value.Data[i] = orig - h
+			down := loss()
+			p.Value.Data[i] = orig
+			numeric := (up - down) / (2 * h)
+			if math.Abs(grad[i]-numeric) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("param %s elem %d: analytic %g vs numeric %g", p.Name, i, grad[i], numeric)
+			}
+		}
+	}
+}
+
+// TestGradientsZeroForUnusedEmbeddings confirms that only looked-up (or
+// <unk>) embedding rows receive gradient — the sparsity that makes
+// embedding tables cheap to train.
+func TestGradientsZeroForUnusedEmbeddings(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	schema := envmeta.NewSchema()
+	// Observe two environments but build a batch that uses only the first.
+	e1 := envmeta.Environment{Testbed: "tbA", SUT: "db", Testcase: "load", Build: "S01"}
+	e2 := envmeta.Environment{Testbed: "tbB", SUT: "fw", Testcase: "soak", Build: "D01"}
+	ids1 := schema.Observe(e1)
+	ids2 := schema.Observe(e2)
+
+	b := twoEnvBatch(rng, schema, 4, 1.0)
+	for k := range b.EnvIDs {
+		for i := range b.EnvIDs[k] {
+			b.EnvIDs[k][i] = ids1[k]
+		}
+	}
+	cfg := smallConfig()
+	cfg.UnkProb = 0
+	m := New(cfg, schema)
+	tape := autodiff.NewTape()
+	loss := m.Loss(tape, b, false, nil)
+	tape.Backward(loss)
+
+	for k, emb := range m.embeddings {
+		grad := emb.Table.Grad()
+		usedRow := grad.Row(ids1[k])
+		unusedRow := grad.Row(ids2[k])
+		usedNorm, unusedNorm := 0.0, 0.0
+		for j := range usedRow {
+			usedNorm += usedRow[j] * usedRow[j]
+			unusedNorm += unusedRow[j] * unusedRow[j]
+		}
+		if usedNorm == 0 {
+			t.Fatalf("feature %d: used embedding row got no gradient", k)
+		}
+		if unusedNorm != 0 {
+			t.Fatalf("feature %d: unused embedding row got gradient", k)
+		}
+	}
+}

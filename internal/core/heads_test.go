@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"env2vec/internal/envmeta"
+	"env2vec/internal/nn"
+)
+
+func TestHeadString(t *testing.T) {
+	if HeadHadamard.String() != "hadamard" || HeadBilinear.String() != "bilinear" || HeadMLP.String() != "mlp" {
+		t.Fatalf("head strings wrong")
+	}
+	if !strings.Contains(Head(9).String(), "9") {
+		t.Fatalf("unknown head should render number")
+	}
+}
+
+func TestUnknownHeadPanics(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Head = Head(42)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	New(cfg, envmeta.NewSchema())
+}
+
+// TestAllHeadsLearnEnvironmentOffsets verifies that every prediction head
+// (Equation 2, bilinear, MLP) can fit the environment-dependent synthetic
+// task — §3.2 says the alternatives "yield similar results".
+func TestAllHeadsLearnEnvironmentOffsets(t *testing.T) {
+	for _, head := range []Head{HeadHadamard, HeadBilinear, HeadMLP} {
+		head := head
+		t.Run(head.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			schema := envmeta.NewSchema()
+			train := twoEnvBatch(rng, schema, 300, 2.0)
+			cfg := smallConfig()
+			cfg.Head = head
+			m := New(cfg, schema)
+			nn.Train(m, nn.NewAdam(0.01), train, nil, nn.TrainConfig{Epochs: 80, BatchSize: 32, Seed: 1})
+			if mse := nn.EvalMSE(m, train); mse > 0.5 {
+				t.Fatalf("head %v failed to fit: mse=%v", head, mse)
+			}
+		})
+	}
+}
+
+func TestHeadParamCountsDiffer(t *testing.T) {
+	schema := envmeta.NewSchema()
+	schema.Observe(envmeta.Environment{Testbed: "a", SUT: "b", Testcase: "c", Build: "S1"})
+	base := smallConfig()
+	counts := map[Head]int{}
+	for _, head := range []Head{HeadHadamard, HeadBilinear, HeadMLP} {
+		cfg := base
+		cfg.Head = head
+		counts[head] = New(cfg, schema).NumParameters()
+	}
+	// §3.2: the alternative heads "require more parameters to learn".
+	if counts[HeadBilinear] <= counts[HeadHadamard] || counts[HeadMLP] <= counts[HeadHadamard] {
+		t.Fatalf("alternative heads should cost parameters: %v", counts)
+	}
+}
+
+func TestAttentionVariantLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	schema := envmeta.NewSchema()
+	train := twoEnvBatch(rng, schema, 300, 2.0)
+	cfg := smallConfig()
+	cfg.Attention = true
+	m := New(cfg, schema)
+	if len(m.Params()) <= len(New(smallConfig(), envmeta.NewSchema()).Params()) {
+		t.Fatalf("attention variant should add parameters")
+	}
+	nn.Train(m, nn.NewAdam(0.01), train, nil, nn.TrainConfig{Epochs: 80, BatchSize: 32, Seed: 1})
+	if mse := nn.EvalMSE(m, train); mse > 0.5 {
+		t.Fatalf("attention variant failed to fit: mse=%v", mse)
+	}
+}
+
+func TestSnapshotRoundTripPerVariant(t *testing.T) {
+	variants := []Config{}
+	for _, head := range []Head{HeadHadamard, HeadBilinear, HeadMLP} {
+		cfg := smallConfig()
+		cfg.Head = head
+		variants = append(variants, cfg)
+	}
+	attn := smallConfig()
+	attn.Attention = true
+	variants = append(variants, attn)
+
+	for _, cfg := range variants {
+		rng := rand.New(rand.NewSource(3))
+		schema := envmeta.NewSchema()
+		b := twoEnvBatch(rng, schema, 40, 1)
+		m := New(cfg, schema)
+		nn.Train(m, nn.NewAdam(0.01), b, nil, nn.TrainConfig{Epochs: 2, BatchSize: 16, Seed: 1})
+		m2 := New(cfg, schema)
+		if err := m2.Restore(m.Snapshot()); err != nil {
+			t.Fatalf("variant %+v restore: %v", cfg, err)
+		}
+		p1, p2 := m.Predict(b), m2.Predict(b)
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("variant head=%v attn=%v predicts differently after restore", cfg.Head, cfg.Attention)
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"env2vec/internal/envmeta"
+	"env2vec/internal/tensor"
+)
+
+// WriteSeriesCSV writes a series as a flat table: time, the four EM tuple
+// columns, the contextual features, the RU target, and the anomaly label.
+// The layout mirrors the dataframe of Table 2 pulled from the TSDB.
+func WriteSeriesCSV(w io.Writer, s *Series, featureNames []string) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if len(featureNames) != s.CF.Cols {
+		return fmt.Errorf("dataset: %d feature names for %d columns", len(featureNames), s.CF.Cols)
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"time", "testbed", "sut", "testcase", "build"}, featureNames...)
+	header = append(header, "ru", "anomalous")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < s.Len(); i++ {
+		row := make([]string, 0, len(header))
+		var ts int64
+		if len(s.Times) == s.Len() {
+			ts = s.Times[i]
+		}
+		row = append(row, strconv.FormatInt(ts, 10),
+			s.Env.Testbed, s.Env.SUT, s.Env.Testcase, s.Env.Build)
+		for _, v := range s.CF.Row(i) {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		row = append(row, strconv.FormatFloat(s.RU[i], 'g', -1, 64))
+		anom := "0"
+		if s.Anomalous != nil && s.Anomalous[i] {
+			anom = "1"
+		}
+		row = append(row, anom)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSeriesCSV parses a table written by WriteSeriesCSV, returning the
+// series and the feature names from the header.
+func ReadSeriesCSV(r io.Reader) (*Series, []string, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	if len(rows) < 1 {
+		return nil, nil, fmt.Errorf("dataset: csv has no header")
+	}
+	header := rows[0]
+	const fixed = 5 // time + 4 EM columns
+	if len(header) < fixed+2 {
+		return nil, nil, fmt.Errorf("dataset: csv header too short (%d columns)", len(header))
+	}
+	featureNames := append([]string(nil), header[fixed:len(header)-2]...)
+	nf := len(featureNames)
+	s := &Series{CF: tensor.New(len(rows)-1, nf)}
+	for i, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, nil, fmt.Errorf("dataset: csv row %d has %d fields, want %d", i+1, len(row), len(header))
+		}
+		ts, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: csv row %d time: %w", i+1, err)
+		}
+		s.Times = append(s.Times, ts)
+		env := envmeta.Environment{Testbed: row[1], SUT: row[2], Testcase: row[3], Build: row[4]}
+		if i == 0 {
+			s.Env = env
+		} else if env != s.Env {
+			return nil, nil, fmt.Errorf("dataset: csv row %d environment %v differs from %v", i+1, env, s.Env)
+		}
+		for j := 0; j < nf; j++ {
+			v, err := strconv.ParseFloat(row[fixed+j], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("dataset: csv row %d feature %q: %w", i+1, featureNames[j], err)
+			}
+			s.CF.Set(i, j, v)
+		}
+		ru, err := strconv.ParseFloat(row[len(header)-2], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: csv row %d ru: %w", i+1, err)
+		}
+		s.RU = append(s.RU, ru)
+		s.Anomalous = append(s.Anomalous, row[len(header)-1] == "1")
+	}
+	s.ChainID = s.Env.Testbed + "|" + s.Env.SUT + "|" + s.Env.Testcase
+	return s, featureNames, nil
+}
+
+// SaveSeriesFile writes the series to a CSV file at path.
+func SaveSeriesFile(path string, s *Series, featureNames []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: save series: %w", err)
+	}
+	defer f.Close()
+	if err := WriteSeriesCSV(f, s, featureNames); err != nil {
+		return fmt.Errorf("dataset: save series: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadSeriesFile reads a series CSV from path.
+func LoadSeriesFile(path string) (*Series, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: load series: %w", err)
+	}
+	defer f.Close()
+	return ReadSeriesCSV(f)
+}
+
+// LoadDir reads every .csv file in dir (sorted by name) into one dataset.
+// All files must share the same feature schema.
+func LoadDir(dir string) (*Dataset, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	ds := &Dataset{}
+	for _, name := range names {
+		s, feats, err := LoadSeriesFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: load %s: %w", name, err)
+		}
+		if ds.FeatureNames == nil {
+			ds.FeatureNames = feats
+		} else if !equalStrings(ds.FeatureNames, feats) {
+			return nil, fmt.Errorf("dataset: %s has a different feature schema", name)
+		}
+		ds.Series = append(ds.Series, s)
+	}
+	if len(ds.Series) == 0 {
+		return nil, fmt.Errorf("dataset: no CSV files in %s", dir)
+	}
+	return ds, nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

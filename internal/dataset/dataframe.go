@@ -1,0 +1,40 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatDataframe renders one example as the Table 2-style dataframe the
+// prediction pipeline assembles from the TSDB: contextual features (WMs +
+// PMs), environment metadata, the RU history window, and the observed
+// target. It is a debugging/observability aid for testing engineers
+// inspecting what the model saw at an alarmed timestep.
+func FormatDataframe(ex Example, featureNames []string) string {
+	var b strings.Builder
+	b.WriteString("┌ Dataframe ──────────────────────────────\n")
+	b.WriteString("│ CFs\n")
+	for j, name := range featureNames {
+		v := 0.0
+		if j < len(ex.CF) {
+			v = ex.CF[j]
+		}
+		fmt.Fprintf(&b, "│   %-24s %12.4f\n", name, v)
+	}
+	b.WriteString("│ EM\n")
+	fmt.Fprintf(&b, "│   %-24s %12s\n", "Testbed", ex.Env.Testbed)
+	fmt.Fprintf(&b, "│   %-24s %12s\n", "System Under Test", ex.Env.SUT)
+	fmt.Fprintf(&b, "│   %-24s %12s\n", "Test Case", ex.Env.Testcase)
+	fmt.Fprintf(&b, "│   %-24s %12s\n", "Build Version", ex.Env.Build)
+	b.WriteString("│ RU Hist\n")
+	for k, v := range ex.Window {
+		fmt.Fprintf(&b, "│   cpu[t-%d]%18s %10.4f\n", len(ex.Window)-k, "", v)
+	}
+	b.WriteString("│ RU\n")
+	fmt.Fprintf(&b, "│   %-24s %12.4f\n", "cpu_usage", ex.Y)
+	if ex.Time != 0 {
+		fmt.Fprintf(&b, "│   %-24s %12d\n", "time", ex.Time)
+	}
+	b.WriteString("└─────────────────────────────────────────\n")
+	return b.String()
+}

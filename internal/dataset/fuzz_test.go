@@ -1,0 +1,39 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSeriesCSV checks the CSV reader never panics and that accepted
+// inputs survive a write→read round trip.
+func FuzzReadSeriesCSV(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteSeriesCSV(&seed, demoSeries(), []string{"f1", "f2"})
+	f.Add(seed.String())
+	f.Add("time,testbed,sut,testcase,build,f1,ru,anomalous\n")
+	f.Add("time,testbed,sut,testcase,build,f1,ru,anomalous\n1,a,b,c,d,1.5,50,1\n")
+	f.Add("garbage")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, names, err := ReadSeriesCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted series fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteSeriesCSV(&buf, s, names); err != nil {
+			t.Fatalf("accepted series failed to write: %v", err)
+		}
+		s2, _, err := ReadSeriesCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if s2.Len() != s.Len() || s2.Env != s.Env {
+			t.Fatalf("round trip changed series")
+		}
+	})
+}

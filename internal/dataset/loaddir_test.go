@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	s1 := demoSeries()
+	s2 := demoSeries()
+	s2.Env.Build = "S02"
+	if err := SaveSeriesFile(filepath.Join(dir, "b.csv"), s2, []string{"f1", "f2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveSeriesFile(filepath.Join(dir, "a.csv"), s1, []string{"f1", "f2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Non-CSV files are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Series) != 2 {
+		t.Fatalf("loaded %d series", len(ds.Series))
+	}
+	// Sorted by filename: a.csv (S01) first.
+	if ds.Series[0].Env.Build != "S01" || ds.Series[1].Env.Build != "S02" {
+		t.Fatalf("order wrong: %v %v", ds.Series[0].Env, ds.Series[1].Env)
+	}
+	if len(ds.FeatureNames) != 2 {
+		t.Fatalf("feature names missing")
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatalf("missing dir should error")
+	}
+	empty := t.TempDir()
+	if _, err := LoadDir(empty); err == nil {
+		t.Fatalf("empty dir should error")
+	}
+	// Mismatched schemas are rejected.
+	dir := t.TempDir()
+	s := demoSeries()
+	if err := SaveSeriesFile(filepath.Join(dir, "a.csv"), s, []string{"f1", "f2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveSeriesFile(filepath.Join(dir, "b.csv"), s, []string{"g1", "g2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatalf("schema mismatch should error")
+	}
+	// Corrupt CSV is rejected.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "bad.csv"), []byte("nonsense"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir2); err == nil {
+		t.Fatalf("corrupt csv should error")
+	}
+}

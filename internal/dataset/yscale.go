@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"env2vec/internal/nn"
+	"env2vec/internal/stats"
+	"env2vec/internal/tensor"
+)
+
+// YScaler standardizes regression targets (and the RU-history window, which
+// shares the target's units) for neural-network training: raw CPU values of
+// tens-to-hundreds would dwarf Glorot-scale initial outputs and slow Adam
+// badly. Predictions are mapped back to raw units before metrics or anomaly
+// thresholds are computed, so everything user-visible stays in CPU points.
+type YScaler struct {
+	Mu, Sigma float64
+}
+
+// FitYScaler learns the target scale from a training batch.
+func FitYScaler(b *nn.Batch) YScaler {
+	g := stats.FitGaussian(b.Y.Data)
+	if g.Sigma == 0 {
+		g.Sigma = 1
+	}
+	return YScaler{Mu: g.Mu, Sigma: g.Sigma}
+}
+
+// sigma returns the effective scale; a zero-valued YScaler acts as the
+// identity transform so hand-assembled pipelines keep working.
+func (ys YScaler) sigma() float64 {
+	if ys.Sigma == 0 {
+		return 1
+	}
+	return ys.Sigma
+}
+
+// Scale returns a batch view with standardized targets and window values;
+// X and EnvIDs are shared with the input.
+func (ys YScaler) Scale(b *nn.Batch) *nn.Batch {
+	out := &nn.Batch{X: b.X, EnvIDs: b.EnvIDs}
+	out.Y = tensor.New(b.Y.Rows, 1)
+	for i, v := range b.Y.Data {
+		out.Y.Data[i] = (v - ys.Mu) / ys.sigma()
+	}
+	if b.Window != nil {
+		out.Window = tensor.New(b.Window.Rows, b.Window.Cols)
+		for i, v := range b.Window.Data {
+			out.Window.Data[i] = (v - ys.Mu) / ys.sigma()
+		}
+	}
+	return out
+}
+
+// Unscale maps standardized predictions back to raw units.
+func (ys YScaler) Unscale(pred []float64) []float64 {
+	out := make([]float64, len(pred))
+	for i, v := range pred {
+		out[i] = v*ys.sigma() + ys.Mu
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"env2vec/internal/core"
+	"env2vec/internal/dataset"
+	"env2vec/internal/envmeta"
+	"env2vec/internal/kdn"
+	"env2vec/internal/metrics"
+	"env2vec/internal/nn"
+)
+
+// AblationResult compares Env2Vec design variants on the pooled KDN task:
+// the three §3.2 prediction heads and the §6 attention extension.
+type AblationResult struct {
+	Variants []MethodScore // per variant, MAE/MSE averaged across the three test sets
+}
+
+// RunHeadAblation trains each architecture variant once on the pooled KDN
+// data and reports test errors pooled over the three VNFs. The paper claims
+// the alternative heads "yield similar results" at a higher parameter cost;
+// this is the experiment that checks it.
+func RunHeadAblation(opts Table4Options) (*AblationResult, error) {
+	d, err := prepareKDN(opts)
+	if err != nil {
+		return nil, err
+	}
+	vnfs := []kdn.VNF{kdn.Snort, kdn.Firewall, kdn.Switch}
+
+	type variant struct {
+		name string
+		cfg  core.Config
+	}
+	base := core.Config{
+		In: d.pooledTrain.X.Cols, Hidden: opts.Hidden, GRUHidden: opts.GRU,
+		EmbedDim: 10, Window: opts.Window, Dropout: 0.1, UnkProb: 0.02, Seed: opts.Seed,
+	}
+	variants := []variant{
+		{"hadamard", base},
+		{"bilinear", withHead(base, core.HeadBilinear)},
+		{"mlp-head", withHead(base, core.HeadMLP)},
+		{"attention", withAttention(base)},
+	}
+	res := &AblationResult{}
+	tc := nn.TrainConfig{Epochs: opts.Epochs, BatchSize: opts.Batch, Patience: opts.Patience, MinDelta: 1e-5, Seed: opts.Seed}
+	for _, v := range variants {
+		m := core.New(v.cfg, d.schema)
+		nn.Train(m, nn.NewAdam(opts.LR), d.pooledTrain, d.pooledVal, tc)
+		var mae, mse float64
+		for _, vnf := range vnfs {
+			a, q := d.evalPooled(m, vnf)
+			mae += a / float64(len(vnfs))
+			mse += q / float64(len(vnfs))
+		}
+		res.Variants = append(res.Variants, MethodScore{
+			Method: fmt.Sprintf("%s(%dp)", v.name, m.NumParameters()),
+			MAE:    mae, MSE: mse, Runs: 1,
+		})
+	}
+	return res, nil
+}
+
+func withHead(cfg core.Config, h core.Head) core.Config {
+	cfg.Head = h
+	return cfg
+}
+
+func withAttention(cfg core.Config) core.Config {
+	cfg.Attention = true
+	return cfg
+}
+
+// EMHoldoutRow reports the MAE impact of blinding one environment-metadata
+// feature at inference time (its ids forced to <unk>).
+type EMHoldoutRow struct {
+	Feature  string
+	BaseMAE  float64
+	BlindMAE float64
+	DeltaPct float64 // (blind−base)/base × 100
+}
+
+// RunEMHoldout implements the §6 "hold out" analysis on the telecom lab:
+// with the pooled model fixed, each EM feature is removed in turn (mapped
+// to <unk>) and the per-chain test MAE recomputed; the increase measures
+// how much the model leans on that feature's embedding.
+func (l *Lab) RunEMHoldout() []EMHoldoutRow {
+	tr := l.Pooled()
+	window := tr.Model.Config().Window
+
+	evalWithBlind := func(blind int) float64 {
+		var total, n float64
+		for _, chainID := range l.Corpus.ChainOrder {
+			s := l.current(chainID)
+			exs := dataset.WindowExamples(s, window)
+			b := dataset.ToBatch(exs, tr.Schema)
+			tr.Standardizer.Apply(b.X)
+			if blind >= 0 {
+				zero := make([]int, len(b.EnvIDs[blind]))
+				b.EnvIDs[blind] = zero
+			}
+			pred := tr.YScale.Unscale(tr.Model.Predict(tr.YScale.Scale(b)))
+			total += metrics.MAE(pred, b.Y.Data) * float64(len(pred))
+			n += float64(len(pred))
+		}
+		return total / n
+	}
+
+	base := evalWithBlind(-1)
+	rows := make([]EMHoldoutRow, 0, envmeta.NumFeatures)
+	for k, name := range envmeta.FeatureNames() {
+		blind := evalWithBlind(k)
+		rows = append(rows, EMHoldoutRow{
+			Feature: name, BaseMAE: base, BlindMAE: blind,
+			DeltaPct: 100 * (blind - base) / base,
+		})
+	}
+	return rows
+}

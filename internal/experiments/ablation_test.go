@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunHeadAblationQuick(t *testing.T) {
+	res, err := RunHeadAblation(QuickTable4Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 4 {
+		t.Fatalf("expected 4 variants, got %d", len(res.Variants))
+	}
+	names := []string{"hadamard", "bilinear", "mlp-head", "attention"}
+	for i, v := range res.Variants {
+		if !strings.HasPrefix(v.Method, names[i]) {
+			t.Fatalf("variant %d = %q, want prefix %q", i, v.Method, names[i])
+		}
+		if v.MAE <= 0 || v.MSE <= 0 {
+			t.Fatalf("variant %s bad scores: %+v", v.Method, v)
+		}
+	}
+}
+
+func TestRunEMHoldout(t *testing.T) {
+	rows := quickLab().RunEMHoldout()
+	if len(rows) != 4 {
+		t.Fatalf("expected one row per EM feature, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.BaseMAE <= 0 || r.BlindMAE <= 0 {
+			t.Fatalf("bad MAE in %+v", r)
+		}
+		if r.Feature == "" {
+			t.Fatalf("missing feature name")
+		}
+	}
+	// At least one EM feature should matter (blinding hurts).
+	anyHurt := false
+	for _, r := range rows {
+		if r.DeltaPct > 0 {
+			anyHurt = true
+		}
+	}
+	if !anyHurt {
+		t.Fatalf("blinding every EM feature is free — embeddings unused? %+v", rows)
+	}
+}

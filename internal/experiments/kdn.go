@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"env2vec/internal/baselines"
+	"env2vec/internal/core"
+	"env2vec/internal/dataset"
+	"env2vec/internal/envmeta"
+	"env2vec/internal/kdn"
+	"env2vec/internal/nn"
+	"env2vec/internal/stats"
+)
+
+// Table4Options scales the §4.1 benchmark study. The defaults trade the
+// paper's exhaustive hyper-parameter grids (1024-unit FNNs, 1000-tree
+// forests, 10 seeds) for laptop-friendly settings that preserve the model
+// families and the comparison protocol; crank them up to match the paper
+// exactly.
+type Table4Options struct {
+	Seed     int64
+	Seeds    int     // repetitions for the stochastic (neural) methods
+	Window   int     // RU-history length for the _ts methods
+	Hidden   int     // FNN / RFNN / Env2Vec hidden width (paper: 1024 for FNN)
+	GRU      int     // GRU state width
+	Dense    int     // combined dense width (v_d for RFNN)
+	Epochs   int     // max training epochs (early stopping still applies)
+	Batch    int     // mini-batch size
+	Patience int     // early-stopping patience
+	LR       float64 // Adam learning rate for the neural methods
+	Forest   int     // max n_estimators explored (paper: up to 1000)
+	SkipSVR  bool
+}
+
+// DefaultTable4Options returns the evaluation-scale settings. The neural
+// regime (256 hidden units, lr 1e-3, long patience) is what the convergence
+// probes showed is needed for the NNs to reach their attainable optimum on
+// these datasets — the paper reached the same place with 1024-unit FNNs.
+func DefaultTable4Options() Table4Options {
+	return Table4Options{
+		Seed: 1, Seeds: 3, Window: 2,
+		Hidden: 256, GRU: 24, Dense: 64,
+		Epochs: 600, Batch: 16, Patience: 80, LR: 0.001,
+		Forest: 100,
+	}
+}
+
+// QuickTable4Options returns unit-test-scale settings.
+func QuickTable4Options() Table4Options {
+	return Table4Options{
+		Seed: 1, Seeds: 1, Window: 2,
+		Hidden: 12, GRU: 6, Dense: 8,
+		Epochs: 4, Batch: 32, Patience: 4, LR: 0.01,
+		Forest: 10, SkipSVR: true,
+	}
+}
+
+// Table3 reproduces Table 3: the dataset split sizes.
+func Table3() string {
+	header := []string{"# of examples", "Snort", "Switch", "Firewall"}
+	row := func(name string, f func(kdn.SplitSpec) int) []string {
+		return []string{name,
+			fmt.Sprint(f(kdn.Splits(kdn.Snort))),
+			fmt.Sprint(f(kdn.Splits(kdn.Switch))),
+			fmt.Sprint(f(kdn.Splits(kdn.Firewall)))}
+	}
+	rows := [][]string{
+		row("Total", func(s kdn.SplitSpec) int { return s.Total }),
+		row("Training", func(s kdn.SplitSpec) int { return s.Train }),
+		row("Validation", func(s kdn.SplitSpec) int { return s.Val }),
+		row("Test", func(s kdn.SplitSpec) int { return s.Test }),
+	}
+	return RenderTable(header, rows)
+}
+
+// Table4Result holds the per-VNF method scores plus the paired t-test
+// p-value of Env2Vec vs RFNN (the strongest per-environment baseline).
+type Table4Result struct {
+	Scores map[string][]MethodScore // key: VNF name
+	// PairedP maps VNF name → p-value comparing Env2Vec and RFNN absolute
+	// test errors (significance 0.05, §4.1.2).
+	PairedP map[string]float64
+}
+
+// kdnData is the preprocessed benchmark: per-VNF standardized splits plus
+// the pooled batches for the single-model methods. Pooled batches carry
+// PER-VNF standardized targets: with one global scale, Snort (σ=23) would
+// contribute only (23/110)² ≈ 4%% of the pooled MSE next to the Switch
+// (σ=46 around a different mean), and the single model would quietly
+// underfit it. Per-environment target normalization weights every
+// environment equally — the embeddings tell the model which scale it is
+// predicting in.
+type kdnData struct {
+	schema                 *envmeta.Schema
+	splits                 map[kdn.VNF]*dataset.Split
+	pooledTrain, pooledVal *nn.Batch // targets pre-scaled per VNF
+	perY                   map[kdn.VNF]YScaler
+}
+
+func prepareKDN(opts Table4Options) (*kdnData, error) {
+	ds := kdn.GenerateAll(opts.Seed)
+	schema := envmeta.NewSchema()
+	for _, s := range ds.Series {
+		schema.Observe(s.Env)
+	}
+	schema.Freeze()
+	d := &kdnData{
+		schema: schema,
+		splits: make(map[kdn.VNF]*dataset.Split),
+		perY:   make(map[kdn.VNF]YScaler),
+	}
+	vnfs := []kdn.VNF{kdn.Snort, kdn.Firewall, kdn.Switch}
+	var trains, vals []*nn.Batch
+	for i, v := range vnfs {
+		split, err := kdn.SplitSeries(ds.Series[i], v, opts.Window, schema)
+		if err != nil {
+			return nil, err
+		}
+		dataset.StandardizeSplit(split)
+		d.splits[v] = split
+		d.perY[v] = FitYScaler(split.Train)
+		trains = append(trains, d.perY[v].Scale(split.Train))
+		vals = append(vals, d.perY[v].Scale(split.Val))
+	}
+	d.pooledTrain = concatBatches(trains...)
+	d.pooledVal = concatBatches(vals...)
+	return d, nil
+}
+
+// evalPooled computes raw-unit errors for a pooled model on one VNF's test
+// batch, using that VNF's target scale.
+func (d *kdnData) evalPooled(m nn.Model, v kdn.VNF) (mae, mse float64) {
+	return evalScaled(m, d.perY[v], d.splits[v].Test)
+}
+
+// RunTable4 reproduces Table 4: MAE and MSE of all eight methods on the
+// three VNF datasets.
+func RunTable4(opts Table4Options) (*Table4Result, error) {
+	d, err := prepareKDN(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{Scores: make(map[string][]MethodScore), PairedP: make(map[string]float64)}
+	vnfs := []kdn.VNF{kdn.Snort, kdn.Firewall, kdn.Switch}
+
+	// Per-seed test errors for the paired t-test.
+	rfnnAbsErr := make(map[kdn.VNF][]float64)
+	env2vecAbsErr := make(map[kdn.VNF][]float64)
+
+	// Deterministic per-dataset methods.
+	for _, v := range vnfs {
+		split := d.splits[v]
+		var scores []MethodScore
+
+		ridge, err := baselines.FitRidgeCV(split.Train, split.Val, false)
+		if err != nil {
+			return nil, err
+		}
+		scores = append(scores, predScore("Ridge", ridge, split.Test))
+
+		ridgeTS, err := baselines.FitRidgeCV(split.Train, split.Val, true)
+		if err != nil {
+			return nil, err
+		}
+		scores = append(scores, predScore("Ridge_ts", ridgeTS, split.Test))
+
+		forest, err := baselines.FitForestCV(split.Train, split.Val, opts.Forest, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		scores = append(scores, predScore("RFReg", forest, split.Test))
+
+		if !opts.SkipSVR {
+			svr, err := baselines.FitSVRCV(scaleForSVR(split.Train, d.perY[v]), scaleForSVR(split.Val, d.perY[v]))
+			if err != nil {
+				return nil, err
+			}
+			scores = append(scores, svrScore("SVR", svr, split.Test, d.perY[v]))
+		}
+		res.Scores[v.String()] = scores
+	}
+
+	// Stochastic methods, averaged over seeds.
+	type accum struct{ maes, mses []float64 }
+	acc := make(map[string]map[kdn.VNF]*accum) // method → vnf → errors
+	for _, m := range []string{"FNN", "RFNN", "RFNN_all", "Env2Vec"} {
+		acc[m] = make(map[kdn.VNF]*accum)
+		for _, v := range vnfs {
+			acc[m][v] = &accum{}
+		}
+	}
+	record := func(method string, v kdn.VNF, mae, mse float64) {
+		a := acc[method][v]
+		a.maes = append(a.maes, mae)
+		a.mses = append(a.mses, mse)
+	}
+
+	for seed := 0; seed < opts.Seeds; seed++ {
+		runSeed := opts.Seed + int64(seed)*101
+		tc := nn.TrainConfig{Epochs: opts.Epochs, BatchSize: opts.Batch, Patience: opts.Patience, MinDelta: 1e-5, Seed: runSeed}
+
+		// FNN and RFNN: one model per dataset.
+		for _, v := range vnfs {
+			split := d.splits[v]
+			ys := d.perY[v]
+			fnn := nn.NewMLP(fmt.Sprintf("fnn.%d", seed), kdn.NumFeatures, opts.Hidden, nn.Sigmoid, 0, rand.New(rand.NewSource(runSeed)))
+			nn.Train(fnn, nn.NewAdam(opts.LR), ys.Scale(split.Train), ys.Scale(split.Val), tc)
+			mae, mse := evalScaled(fnn, ys, split.Test)
+			record("FNN", v, mae, mse)
+
+			rfnn := baselines.NewRFNN(baselines.RFNNConfig{
+				In: kdn.NumFeatures, Hidden: opts.Hidden, GRUHidden: opts.GRU,
+				DenseDim: opts.Dense, Dropout: 0, Seed: runSeed,
+			})
+			nn.Train(rfnn, nn.NewAdam(opts.LR), ys.Scale(split.Train), ys.Scale(split.Val), tc)
+			mae, mse = evalScaled(rfnn, ys, split.Test)
+			record("RFNN", v, mae, mse)
+			if seed < opts.Seeds {
+				rfnnAbsErr[v] = append(rfnnAbsErr[v], absErrors(rfnn, ys, split.Test)...)
+			}
+		}
+
+		// RFNN_all: single model over pooled data, no embeddings.
+		rfnnAll := baselines.NewRFNN(baselines.RFNNConfig{
+			In: kdn.NumFeatures, Hidden: opts.Hidden, GRUHidden: opts.GRU,
+			DenseDim: opts.Dense, Dropout: 0.1, Seed: runSeed,
+		})
+		nn.Train(rfnnAll, nn.NewAdam(opts.LR), d.pooledTrain, d.pooledVal, tc)
+		for _, v := range vnfs {
+			mae, mse := d.evalPooled(rfnnAll, v)
+			record("RFNN_all", v, mae, mse)
+		}
+
+		// Env2Vec: single model with environment embeddings. It gets a
+		// slightly higher learning rate: the pooled objective (three
+		// response surfaces modulated by embeddings) takes longer to
+		// traverse than a single-dataset fit at the same budget.
+		e2v := core.New(core.Config{
+			In: kdn.NumFeatures, Hidden: opts.Hidden, GRUHidden: opts.GRU,
+			EmbedDim: 10, Window: opts.Window, Dropout: 0.1, UnkProb: 0.02, Seed: runSeed,
+		}, d.schema)
+		nn.Train(e2v, nn.NewAdam(opts.LR), d.pooledTrain, d.pooledVal, tc)
+		for _, v := range vnfs {
+			mae, mse := d.evalPooled(e2v, v)
+			record("Env2Vec", v, mae, mse)
+			env2vecAbsErr[v] = append(env2vecAbsErr[v], absErrors(e2v, d.perY[v], d.splits[v].Test)...)
+		}
+	}
+
+	for _, m := range []string{"FNN", "RFNN", "RFNN_all", "Env2Vec"} {
+		for _, v := range vnfs {
+			a := acc[m][v]
+			res.Scores[v.String()] = append(res.Scores[v.String()], aggregateScores(m, a.maes, a.mses))
+		}
+	}
+	for _, v := range vnfs {
+		if _, p, err := stats.PairedTTest(env2vecAbsErr[v], rfnnAbsErr[v]); err == nil {
+			res.PairedP[v.String()] = p
+		}
+	}
+	return res, nil
+}
+
+func predScore(name string, p baselines.Predictor, test *nn.Batch) MethodScore {
+	pred := p.Predict(test)
+	var sa, sq float64
+	for i, v := range pred {
+		d := v - test.Y.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		sa += d
+		sq += d * d
+	}
+	n := float64(len(pred))
+	return MethodScore{Method: name, MAE: sa / n, MSE: sq / n, Runs: 1}
+}
+
+// scaleForSVR standardizes targets for the SVR solver (its ε grid assumes
+// O(1) targets, as scikit-learn's does after scaling).
+func scaleForSVR(b *nn.Batch, ys YScaler) *nn.Batch {
+	return ys.Scale(b)
+}
+
+func svrScore(name string, s *baselines.SVR, test *nn.Batch, ys YScaler) MethodScore {
+	pred := ys.Unscale(s.Predict(ys.Scale(test)))
+	var sa, sq float64
+	for i, v := range pred {
+		d := v - test.Y.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		sa += d
+		sq += d * d
+	}
+	n := float64(len(pred))
+	return MethodScore{Method: name, MAE: sa / n, MSE: sq / n, Runs: 1}
+}
+
+func absErrors(m nn.Model, ys YScaler, raw *nn.Batch) []float64 {
+	pred := ys.Unscale(m.Predict(ys.Scale(raw)))
+	out := make([]float64, len(pred))
+	for i, p := range pred {
+		d := p - raw.Y.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// RenderTable4 renders the result like the paper's Table 4.
+func RenderTable4(res *Table4Result) string {
+	header := []string{"Method", "Snort MAE", "Snort MSE", "Firewall MAE", "Firewall MSE", "Switch MAE", "Switch MSE"}
+	methodOrder := []string{"Ridge", "Ridge_ts", "RFReg", "SVR", "FNN", "RFNN", "RFNN_all", "Env2Vec"}
+	cell := func(v, std float64, runs int) string {
+		if runs > 1 {
+			return fmt.Sprintf("%.2f±%.2f", v, std)
+		}
+		return fmt.Sprintf("%.2f", v)
+	}
+	find := func(vnf, method string) *MethodScore {
+		for i := range res.Scores[vnf] {
+			if res.Scores[vnf][i].Method == method {
+				return &res.Scores[vnf][i]
+			}
+		}
+		return nil
+	}
+	var rows [][]string
+	for _, m := range methodOrder {
+		row := []string{m}
+		missing := true
+		for _, vnf := range []string{"snort", "firewall", "switch"} {
+			if s := find(vnf, m); s != nil {
+				row = append(row, cell(s.MAE, s.MAEStd, s.Runs), cell(s.MSE, s.MSEStd, s.Runs))
+				missing = false
+			} else {
+				row = append(row, "-", "-")
+			}
+		}
+		if !missing {
+			rows = append(rows, row)
+		}
+	}
+	return RenderTable(header, rows)
+}

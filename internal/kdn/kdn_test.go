@@ -1,0 +1,193 @@
+package kdn
+
+import (
+	"math"
+	"testing"
+
+	"env2vec/internal/envmeta"
+	"env2vec/internal/stats"
+)
+
+func TestSplitsMatchTable3(t *testing.T) {
+	cases := map[VNF]SplitSpec{
+		Snort:    {Total: 1359, Train: 900, Val: 259, Test: 200},
+		Switch:   {Total: 1191, Train: 900, Val: 141, Test: 150},
+		Firewall: {Total: 755, Train: 555, Val: 100, Test: 100},
+	}
+	for v, want := range cases {
+		got := Splits(v)
+		if got != want {
+			t.Fatalf("%v: got %+v want %+v", v, got, want)
+		}
+		if got.Train+got.Val+got.Test != got.Total {
+			t.Fatalf("%v: partitions do not sum to total", v)
+		}
+	}
+}
+
+func TestSplitsUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Splits(VNF(9))
+}
+
+func TestFeatureNamesCountAndUniqueness(t *testing.T) {
+	names := FeatureNames()
+	if len(names) != NumFeatures {
+		t.Fatalf("got %d names", len(names))
+	}
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	for _, v := range []VNF{Snort, Firewall, Switch} {
+		s := Generate(v, 42)
+		spec := Splits(v)
+		if s.Len() != spec.Total {
+			t.Fatalf("%v: %d samples, want %d", v, s.Len(), spec.Total)
+		}
+		if s.CF.Cols != NumFeatures {
+			t.Fatalf("%v: %d features", v, s.CF.Cols)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if s.Env.SUT != v.String() {
+			t.Fatalf("%v: env SUT %q", v, s.Env.SUT)
+		}
+	}
+}
+
+func TestGenerateMatchesPublishedMoments(t *testing.T) {
+	wantMoments := map[VNF][2]float64{Snort: {196, 23}, Firewall: {384, 46}, Switch: {448, 46}}
+	for v, want := range wantMoments {
+		s := Generate(v, 7)
+		g := stats.FitGaussian(s.RU)
+		if math.Abs(g.Mu-want[0]) > 1 {
+			t.Fatalf("%v: mean %v want %v", v, g.Mu, want[0])
+		}
+		if math.Abs(g.Sigma-want[1]) > 1 {
+			t.Fatalf("%v: std %v want %v", v, g.Sigma, want[1])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Snort, 5)
+	b := Generate(Snort, 5)
+	for i := range a.RU {
+		if a.RU[i] != b.RU[i] {
+			t.Fatalf("same seed must reproduce identical series")
+		}
+	}
+	c := Generate(Snort, 6)
+	same := true
+	for i := range a.RU {
+		if a.RU[i] != c.RU[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds should differ")
+	}
+}
+
+func TestGenerateTemporalInertiaOrdering(t *testing.T) {
+	// Lag-1 autocorrelation should be strongest for the switch, by design.
+	rho := func(v VNF) float64 {
+		s := Generate(v, 11)
+		g := stats.FitGaussian(s.RU)
+		num, den := 0.0, 0.0
+		for i := 1; i < len(s.RU); i++ {
+			num += (s.RU[i] - g.Mu) * (s.RU[i-1] - g.Mu)
+			den += (s.RU[i-1] - g.Mu) * (s.RU[i-1] - g.Mu)
+		}
+		return num / den
+	}
+	snort, sw := rho(Snort), rho(Switch)
+	if sw <= snort {
+		t.Fatalf("switch autocorrelation (%v) should exceed snort (%v)", sw, snort)
+	}
+}
+
+func TestGenerateAll(t *testing.T) {
+	d := GenerateAll(1)
+	if len(d.Series) != 3 {
+		t.Fatalf("want 3 series")
+	}
+	if len(d.FeatureNames) != NumFeatures {
+		t.Fatalf("feature names missing")
+	}
+	envs := map[string]bool{}
+	for _, s := range d.Series {
+		envs[s.Env.SUT] = true
+	}
+	if len(envs) != 3 {
+		t.Fatalf("series should have distinct SUTs: %v", envs)
+	}
+}
+
+func TestSplitSeries(t *testing.T) {
+	s := Generate(Firewall, 3)
+	schema := envmeta.NewSchema()
+	schema.Observe(s.Env)
+	split, err := SplitSeries(s, Firewall, 2, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Splits(Firewall)
+	if split.Train.Len() != spec.Train-2 {
+		t.Fatalf("train %d want %d", split.Train.Len(), spec.Train-2)
+	}
+	if split.Val.Len() != spec.Val || split.Test.Len() != spec.Test {
+		t.Fatalf("val/test sizes wrong: %d/%d", split.Val.Len(), split.Test.Len())
+	}
+	if split.Train.Window.Cols != 2 {
+		t.Fatalf("window not assembled")
+	}
+	if _, err := SplitSeries(s, Firewall, 10000, schema); err == nil {
+		t.Fatalf("oversized window should error")
+	}
+}
+
+func TestFeaturesCorrelateWithCPU(t *testing.T) {
+	// Sanity: total packets should be positively correlated with CPU for
+	// every VNF — otherwise the learning problem is noise.
+	for _, v := range []VNF{Snort, Firewall, Switch} {
+		s := Generate(v, 13)
+		var sp, sc, spc, spp, scc float64
+		n := float64(s.Len())
+		for i := 0; i < s.Len(); i++ {
+			p := s.CF.At(i, 0) // pkts_total
+			c := s.RU[i]
+			sp += p
+			sc += c
+			spc += p * c
+			spp += p * p
+			scc += c * c
+		}
+		corr := (n*spc - sp*sc) / math.Sqrt((n*spp-sp*sp)*(n*scc-sc*sc))
+		if corr < 0.3 {
+			t.Fatalf("%v: pkts/CPU correlation too weak: %v", v, corr)
+		}
+	}
+}
+
+func TestVNFString(t *testing.T) {
+	if Snort.String() != "snort" || Firewall.String() != "firewall" || Switch.String() != "switch" {
+		t.Fatalf("VNF strings wrong")
+	}
+	if VNF(7).String() == "" {
+		t.Fatalf("unknown VNF should still render")
+	}
+}

@@ -1,0 +1,88 @@
+// Package metrics implements the evaluation metrics from the paper: MAE and
+// MSE for resource-characterization accuracy (§4.1.2) and the true/false
+// alarm rates A_T and A_F for anomaly-detection quality (§4.2.2).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// MAE returns the mean absolute error between predictions and targets.
+func MAE(pred, actual []float64) float64 {
+	checkLen(pred, actual)
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, p := range pred {
+		s += math.Abs(p - actual[i])
+	}
+	return s / float64(len(pred))
+}
+
+// MSE returns the mean squared error between predictions and targets.
+func MSE(pred, actual []float64) float64 {
+	checkLen(pred, actual)
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, p := range pred {
+		d := p - actual[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// Errors returns the signed prediction errors pred−actual.
+func Errors(pred, actual []float64) []float64 {
+	checkLen(pred, actual)
+	out := make([]float64, len(pred))
+	for i, p := range pred {
+		out[i] = p - actual[i]
+	}
+	return out
+}
+
+func checkLen(pred, actual []float64) {
+	if len(pred) != len(actual) {
+		panic(fmt.Sprintf("metrics: length mismatch %d vs %d", len(pred), len(actual)))
+	}
+}
+
+// AlarmStats aggregates alarm-quality counters for one detector
+// configuration, matching a row of Table 5/6.
+type AlarmStats struct {
+	Alarms  int // total alarms raised
+	Correct int // alarms confirmed as true positives
+}
+
+// Add accumulates another stats record.
+func (a *AlarmStats) Add(b AlarmStats) {
+	a.Alarms += b.Alarms
+	a.Correct += b.Correct
+}
+
+// AT returns the true alarm rate N_tp/(N_tp+N_fp); NaN when no alarms were
+// raised (the paper reports N/A in that case).
+func (a AlarmStats) AT() float64 {
+	if a.Alarms == 0 {
+		return math.NaN()
+	}
+	return float64(a.Correct) / float64(a.Alarms)
+}
+
+// AF returns the false alarm rate 1−A_T (NaN when no alarms).
+func (a AlarmStats) AF() float64 {
+	at := a.AT()
+	if math.IsNaN(at) {
+		return math.NaN()
+	}
+	return 1 - at
+}
+
+// String renders the stats like a Table 5 row.
+func (a AlarmStats) String() string {
+	return fmt.Sprintf("alarms=%d correct=%d A_T=%.3f A_F=%.3f", a.Alarms, a.Correct, a.AT(), a.AF())
+}

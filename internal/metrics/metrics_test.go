@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMAEMSEKnown(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	act := []float64{2, 2, 1}
+	if got := MAE(pred, act); got != 1 {
+		t.Fatalf("MAE = %v", got)
+	}
+	if got := MSE(pred, act); math.Abs(got-5.0/3.0) > 1e-12 {
+		t.Fatalf("MSE = %v", got)
+	}
+}
+
+func TestPerfectPrediction(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if MAE(xs, xs) != 0 || MSE(xs, xs) != 0 {
+		t.Fatalf("perfect prediction should give zero error")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if MAE(nil, nil) != 0 || MSE(nil, nil) != 0 {
+		t.Fatalf("empty inputs should be 0")
+	}
+	if len(Errors(nil, nil)) != 0 {
+		t.Fatalf("empty errors")
+	}
+}
+
+func TestErrorsSigned(t *testing.T) {
+	e := Errors([]float64{3, 1}, []float64{1, 3})
+	if e[0] != 2 || e[1] != -2 {
+		t.Fatalf("Errors = %v", e)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	MAE([]float64{1}, []float64{1, 2})
+}
+
+// Property: MSE ≥ MAE² (Jensen) and both are nonnegative.
+func TestMetricInequalities(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		p := make([]float64, n)
+		a := make([]float64, n)
+		for i := range p {
+			p[i] = rng.NormFloat64() * 10
+			a[i] = rng.NormFloat64() * 10
+		}
+		mae, mse := MAE(p, a), MSE(p, a)
+		return mae >= 0 && mse >= mae*mae-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlarmStats(t *testing.T) {
+	s := AlarmStats{Alarms: 29, Correct: 25}
+	if math.Abs(s.AT()-0.862) > 0.001 {
+		t.Fatalf("A_T = %v", s.AT())
+	}
+	if math.Abs(s.AF()-0.138) > 0.001 {
+		t.Fatalf("A_F = %v", s.AF())
+	}
+	if !strings.Contains(s.String(), "alarms=29") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestAlarmStatsNoAlarms(t *testing.T) {
+	var s AlarmStats
+	if !math.IsNaN(s.AT()) || !math.IsNaN(s.AF()) {
+		t.Fatalf("no alarms should give NaN rates")
+	}
+}
+
+func TestAlarmStatsAdd(t *testing.T) {
+	a := AlarmStats{Alarms: 3, Correct: 2}
+	a.Add(AlarmStats{Alarms: 7, Correct: 5})
+	if a.Alarms != 10 || a.Correct != 7 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+// Property: A_T + A_F = 1 whenever alarms > 0, and A_T ∈ [0,1].
+func TestAlarmRatesComplementary(t *testing.T) {
+	f := func(alarms, correct uint8) bool {
+		a := AlarmStats{Alarms: int(alarms%50) + 1}
+		a.Correct = int(correct) % (a.Alarms + 1)
+		at, af := a.AT(), a.AF()
+		return at >= 0 && at <= 1 && math.Abs(at+af-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

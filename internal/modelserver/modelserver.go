@@ -1,0 +1,199 @@
+// Package modelserver is the model registry of workflow steps (2) and (5):
+// the training pipeline publishes versioned model snapshots ("essentially a
+// weight matrix") after each retrain, and the prediction pipeline fetches
+// the latest snapshot over HTTP before each execution.
+package modelserver
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"env2vec/internal/nn"
+)
+
+// Version is one published model snapshot.
+type Version struct {
+	Name    string
+	Number  int
+	Data    []byte // gob-encoded nn.Snapshot
+	Created int64  // unix seconds
+}
+
+// Registry stores versioned snapshots per model name.
+type Registry struct {
+	mu       sync.RWMutex
+	versions map[string][]Version
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{versions: make(map[string][]Version)}
+}
+
+// Publish stores a new version of the named model and returns its number.
+func (r *Registry) Publish(name string, snap *nn.Snapshot, created int64) (int, error) {
+	data, err := snap.Bytes()
+	if err != nil {
+		return 0, fmt.Errorf("modelserver: encode snapshot: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.versions[name]) + 1
+	r.versions[name] = append(r.versions[name], Version{Name: name, Number: n, Data: data, Created: created})
+	return n, nil
+}
+
+// Latest returns the newest version of the named model.
+func (r *Registry) Latest(name string) (Version, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	vs := r.versions[name]
+	if len(vs) == 0 {
+		return Version{}, fmt.Errorf("modelserver: no versions of %q", name)
+	}
+	return vs[len(vs)-1], nil
+}
+
+// Get returns a specific version.
+func (r *Registry) Get(name string, number int) (Version, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	vs := r.versions[name]
+	if number < 1 || number > len(vs) {
+		return Version{}, fmt.Errorf("modelserver: %q has no version %d", name, number)
+	}
+	return vs[number-1], nil
+}
+
+// Names lists the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.versions))
+	for n := range r.versions {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handler serves the registry:
+//
+//	POST /models/<name>            (gob body) → version number
+//	GET  /models/<name>/latest     → gob snapshot
+//	GET  /models/<name>/<version>  → gob snapshot
+type Handler struct {
+	Registry *Registry
+	Now      func() int64
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	if len(parts) < 2 || parts[0] != "models" {
+		http.NotFound(w, r)
+		return
+	}
+	name := parts[1]
+	switch {
+	case r.Method == http.MethodPost && len(parts) == 2:
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		snap, err := nn.DecodeSnapshot(bytes.NewReader(body))
+		if err != nil {
+			http.Error(w, "invalid snapshot: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		now := int64(0)
+		if h.Now != nil {
+			now = h.Now()
+		}
+		n, err := h.Registry.Publish(name, snap, now)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintf(w, "%d", n)
+	case r.Method == http.MethodGet && len(parts) == 3:
+		var v Version
+		var err error
+		if parts[2] == "latest" {
+			v, err = h.Registry.Latest(name)
+		} else {
+			num, convErr := strconv.Atoi(parts[2])
+			if convErr != nil {
+				http.Error(w, "bad version", http.StatusBadRequest)
+				return
+			}
+			v, err = h.Registry.Get(name, num)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Model-Version", strconv.Itoa(v.Number))
+		_, _ = w.Write(v.Data)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// Client talks to a model server.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Publish uploads a snapshot and returns the assigned version number.
+func (c *Client) Publish(name string, snap *nn.Snapshot) (int, error) {
+	data, err := snap.Bytes()
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+"/models/"+name, "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		return 0, fmt.Errorf("modelserver: publish status %d: %s", resp.StatusCode, body)
+	}
+	return strconv.Atoi(strings.TrimSpace(string(body)))
+}
+
+// FetchLatest downloads the newest snapshot of the named model.
+func (c *Client) FetchLatest(name string) (*nn.Snapshot, int, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/models/" + name + "/latest")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("modelserver: fetch status %d", resp.StatusCode)
+	}
+	snap, err := nn.DecodeSnapshot(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	ver, _ := strconv.Atoi(resp.Header.Get("X-Model-Version"))
+	return snap, ver, nil
+}

@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"math"
+
+	"env2vec/internal/tensor"
+)
+
+// Optimizer updates parameters from the gradients of the latest backward
+// pass.
+type Optimizer interface {
+	// Step applies one update to every parameter with a bound gradient.
+	Step(params []*Param)
+}
+
+// LRScalable is implemented by optimizers whose learning rate can be
+// decayed by the training loop (TrainConfig.LRDecay).
+type LRScalable interface {
+	ScaleLR(factor float64)
+}
+
+// SGD is plain stochastic gradient descent with optional gradient clipping.
+type SGD struct {
+	LR       float64
+	ClipNorm float64 // 0 disables clipping
+}
+
+// ScaleLR implements LRScalable.
+func (s *SGD) ScaleLR(factor float64) { s.LR *= factor }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	scale := clipScale(params, s.ClipNorm)
+	for _, p := range params {
+		g := p.Grad()
+		if g == nil {
+			continue
+		}
+		for i := range p.Value.Data {
+			p.Value.Data[i] -= s.LR * scale * g.Data[i]
+		}
+	}
+}
+
+// Adam implements the Adam update rule (Kingma & Ba, 2014), the optimizer
+// the paper trains Env2Vec with.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	ClipNorm              float64 // 0 disables clipping
+
+	t int
+	m map[*Param]*tensor.Matrix
+	v map[*Param]*tensor.Matrix
+}
+
+// NewAdam returns an Adam optimizer with the conventional defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*tensor.Matrix),
+		v: make(map[*Param]*tensor.Matrix),
+	}
+}
+
+// ScaleLR implements LRScalable.
+func (a *Adam) ScaleLR(factor float64) { a.LR *= factor }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	scale := clipScale(params, a.ClipNorm)
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		g := p.Grad()
+		if g == nil {
+			continue
+		}
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Rows, p.Value.Cols)
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = tensor.New(p.Value.Rows, p.Value.Cols)
+			a.v[p] = v
+		}
+		for i := range p.Value.Data {
+			gi := g.Data[i] * scale
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*gi
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*gi*gi
+			mhat := m.Data[i] / bc1
+			vhat := v.Data[i] / bc2
+			p.Value.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}
+
+// clipScale returns the multiplier implementing global-norm gradient
+// clipping; 1 when clipping is disabled or the norm is within bounds.
+func clipScale(params []*Param, clip float64) float64 {
+	if clip <= 0 {
+		return 1
+	}
+	total := 0.0
+	for _, p := range params {
+		g := p.Grad()
+		if g == nil {
+			continue
+		}
+		for _, x := range g.Data {
+			total += x * x
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm <= clip || norm == 0 {
+		return 1
+	}
+	return clip / norm
+}

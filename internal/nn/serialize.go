@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Snapshot is a serializable set of named weight matrices plus free-form
+// metadata; it is the unit stored and served by the model registry (the
+// paper ships "essentially a weight matrix" over HTTP).
+type Snapshot struct {
+	Meta    map[string]string
+	Weights []WeightEntry
+}
+
+// WeightEntry is one named matrix in a snapshot.
+type WeightEntry struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// TakeSnapshot copies the current values of params into a Snapshot.
+func TakeSnapshot(params []*Param, meta map[string]string) *Snapshot {
+	s := &Snapshot{Meta: meta}
+	for _, p := range params {
+		data := make([]float64, len(p.Value.Data))
+		copy(data, p.Value.Data)
+		s.Weights = append(s.Weights, WeightEntry{
+			Name: p.Name, Rows: p.Value.Rows, Cols: p.Value.Cols, Data: data,
+		})
+	}
+	return s
+}
+
+// Restore copies snapshot weights back into params, matching by name and
+// verifying shapes. Every parameter must be present in the snapshot.
+func (s *Snapshot) Restore(params []*Param) error {
+	byName := make(map[string]*WeightEntry, len(s.Weights))
+	for i := range s.Weights {
+		byName[s.Weights[i].Name] = &s.Weights[i]
+	}
+	for _, p := range params {
+		w, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: snapshot missing parameter %q", p.Name)
+		}
+		if w.Rows != p.Value.Rows || w.Cols != p.Value.Cols {
+			return fmt.Errorf("nn: snapshot parameter %q has shape %dx%d, want %dx%d",
+				p.Name, w.Rows, w.Cols, p.Value.Rows, p.Value.Cols)
+		}
+		copy(p.Value.Data, w.Data)
+	}
+	return nil
+}
+
+// Encode writes the snapshot in gob format.
+func (s *Snapshot) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// DecodeSnapshot reads a gob-encoded snapshot.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: decode snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// Bytes serializes the snapshot to a byte slice.
+func (s *Snapshot) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SaveFile writes the snapshot to path.
+func (s *Snapshot) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: save snapshot: %w", err)
+	}
+	defer f.Close()
+	if err := s.Encode(f); err != nil {
+		return fmt.Errorf("nn: save snapshot: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadSnapshotFile reads a snapshot from path.
+func LoadSnapshotFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: load snapshot: %w", err)
+	}
+	defer f.Close()
+	return DecodeSnapshot(f)
+}

@@ -1,0 +1,48 @@
+package pipeline
+
+import (
+	"env2vec/internal/alarmstore"
+	"env2vec/internal/dataset"
+	"env2vec/internal/modelserver"
+)
+
+// DailyRetrain implements the periodic model update of workflow step (2):
+// the model is refit on all data except executions with confirmed
+// (acknowledged) true-positive alarms, which are masked out, and the new
+// snapshot is published to the registry. It returns the training result,
+// the number of masked executions, and the published version.
+//
+// The paper notes this is best-effort: unconfirmed problems (false
+// negatives) stay in the training data, which is tolerable as long as they
+// are not sustained and form a tiny fraction of the corpus.
+func DailyRetrain(ds *dataset.Dataset, store *alarmstore.Store, client *modelserver.Client,
+	name string, cfg TrainerConfig) (*TrainResult, int, int, error) {
+
+	// Collect the (chain, build) pairs with acknowledged alarms.
+	confirmed := make(map[[2]string]bool)
+	for _, rec := range store.Find(alarmstore.Query{}) {
+		if rec.Ack {
+			confirmed[[2]string{rec.Alarm.ChainID, rec.Alarm.Build}] = true
+		}
+	}
+	exclude := make(map[*dataset.Series]bool)
+	masked := 0
+	for _, s := range ds.Series {
+		if confirmed[[2]string{s.ChainID, s.Env.Build}] {
+			exclude[s] = true
+			masked++
+		}
+	}
+	tr, err := Train(ds, exclude, cfg)
+	if err != nil {
+		return nil, masked, 0, err
+	}
+	version := 0
+	if client != nil {
+		version, err = PublishModel(client, name, tr)
+		if err != nil {
+			return nil, masked, 0, err
+		}
+	}
+	return tr, masked, version, nil
+}

@@ -1,0 +1,71 @@
+package pipeline
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"env2vec/internal/alarmstore"
+	"env2vec/internal/anomaly"
+	"env2vec/internal/modelserver"
+)
+
+func TestDailyRetrainMasksConfirmedAlarms(t *testing.T) {
+	c := smallCorpus(t)
+	store, err := alarmstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two confirmed (acknowledged) alarms on one execution, one
+	// unacknowledged alarm on another: only the first must be masked.
+	confirmed := c.FaultTargets[0].Series
+	unconfirmed := c.FaultTargets[1].Series
+	rec1, _ := store.Push(anomaly.Alarm{
+		ChainID: confirmed.ChainID, Build: confirmed.Env.Build, Testbed: confirmed.Env.Testbed,
+	}, 100)
+	_ = store.Acknowledge(rec1.ID)
+	_, _ = store.Push(anomaly.Alarm{
+		ChainID: unconfirmed.ChainID, Build: unconfirmed.Env.Build,
+	}, 200)
+
+	reg := modelserver.NewRegistry()
+	srv := httptest.NewServer(&modelserver.Handler{Registry: reg})
+	defer srv.Close()
+	client := &modelserver.Client{BaseURL: srv.URL}
+
+	cfg := quickTrainerConfig()
+	tr, masked, version, err := DailyRetrain(c.Dataset, store, client, "env2vec", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masked != 1 {
+		t.Fatalf("masked %d executions, want 1", masked)
+	}
+	if version != 1 {
+		t.Fatalf("published version %d", version)
+	}
+	total := c.Dataset.NumExamples(cfg.Model.Window)
+	excluded := confirmed.Len() - cfg.Model.Window
+	if tr.Examples != total-excluded {
+		t.Fatalf("examples %d, want %d", tr.Examples, total-excluded)
+	}
+	// A second retrain bumps the registry version.
+	_, _, v2, err := DailyRetrain(c.Dataset, store, client, "env2vec", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 2 {
+		t.Fatalf("second publish version %d", v2)
+	}
+}
+
+func TestDailyRetrainWithoutRegistry(t *testing.T) {
+	c := smallCorpus(t)
+	store, _ := alarmstore.Open("")
+	tr, masked, version, err := DailyRetrain(c.Dataset, store, nil, "env2vec", quickTrainerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil || masked != 0 || version != 0 {
+		t.Fatalf("nil-client retrain wrong: masked=%d version=%d", masked, version)
+	}
+}

@@ -1,0 +1,35 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"env2vec/internal/stats"
+)
+
+func ExampleFitGaussian() {
+	errors := []float64{-0.4, 0.1, 0.3, -0.1, 0.1}
+	g := stats.FitGaussian(errors)
+	fmt.Printf("mu=%.1f sigma=%.2f z(0.55)=%.1f\n", g.Mu+0, g.Sigma, g.Zscore(0.55))
+	// Output: mu=-0.0 sigma=0.26 z(0.55)=2.1
+}
+
+func ExampleNewECDF() {
+	maes := []float64{1.0, 2.0, 2.0, 4.0}
+	cdf := stats.NewECDF(maes)
+	fmt.Printf("F(1.5)=%.2f F(2)=%.2f F(5)=%.2f\n", cdf.At(1.5), cdf.At(2), cdf.At(5))
+	// Output: F(1.5)=0.25 F(2)=0.75 F(5)=1.00
+}
+
+func ExampleBoxplot() {
+	residuals := []float64{0.5, 1.0, 1.5, 2.0, 9.5}
+	fmt.Println(stats.Boxplot(residuals))
+	// Output: min=0.500 q1=1.000 med=1.500 q3=2.000 max=9.500 mean=2.900
+}
+
+func ExamplePairedTTest() {
+	env2vec := []float64{4.5, 4.7, 4.6, 4.4, 4.8}
+	rfnn := []float64{4.9, 5.1, 4.8, 4.9, 5.2}
+	tstat, p, _ := stats.PairedTTest(env2vec, rfnn)
+	fmt.Printf("t=%.1f significant=%v\n", tstat, p < 0.05)
+	// Output: t=-7.8 significant=true
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"env2vec/internal/tensor"
+)
+
+// PCA holds a fitted principal component analysis: the data mean and the
+// top-k principal axes. It is used to project learned environment
+// embeddings into 2-D for Figure 6.
+type PCA struct {
+	Mean       []float64      // feature means
+	Components *tensor.Matrix // k×d, rows are unit-norm principal axes
+	Explained  []float64      // fraction of variance explained per component
+}
+
+// FitPCA computes the top-k principal components of x (rows are samples)
+// using a dense Jacobi eigendecomposition of the covariance matrix.
+func FitPCA(x *tensor.Matrix, k int) (*PCA, error) {
+	n, d := x.Rows, x.Cols
+	if n < 2 {
+		return nil, fmt.Errorf("stats: PCA needs at least 2 samples, got %d", n)
+	}
+	if k <= 0 || k > d {
+		return nil, fmt.Errorf("stats: PCA components k=%d out of range (1..%d)", k, d)
+	}
+	mean := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j, v := range x.Row(i) {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	// Covariance matrix (d×d).
+	cov := tensor.New(d, d)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for a := 0; a < d; a++ {
+			da := row[a] - mean[a]
+			if da == 0 {
+				continue
+			}
+			crow := cov.Row(a)
+			for b := 0; b < d; b++ {
+				crow[b] += da * (row[b] - mean[b])
+			}
+		}
+	}
+	cov.ScaleInPlace(1 / float64(n-1))
+
+	vals, vecs := jacobiEigen(cov)
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, d)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+
+	total := 0.0
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	comp := tensor.New(k, d)
+	explained := make([]float64, k)
+	for r := 0; r < k; r++ {
+		e := idx[r]
+		for j := 0; j < d; j++ {
+			comp.Set(r, j, vecs.At(j, e)) // eigenvectors are columns of vecs
+		}
+		if total > 0 {
+			explained[r] = math.Max(vals[e], 0) / total
+		}
+	}
+	return &PCA{Mean: mean, Components: comp, Explained: explained}, nil
+}
+
+// Transform projects x (rows are samples with the fitted dimensionality)
+// onto the principal axes, returning an n×k matrix.
+func (p *PCA) Transform(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != len(p.Mean) {
+		panic(fmt.Sprintf("stats: PCA.Transform dim %d, fitted %d", x.Cols, len(p.Mean)))
+	}
+	k := p.Components.Rows
+	out := tensor.New(x.Rows, k)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for r := 0; r < k; r++ {
+			axis := p.Components.Row(r)
+			s := 0.0
+			for j, v := range row {
+				s += (v - p.Mean[j]) * axis[j]
+			}
+			out.Set(i, r, s)
+		}
+	}
+	return out
+}
+
+// jacobiEigen diagonalizes a symmetric matrix via cyclic Jacobi rotations,
+// returning eigenvalues and a matrix whose columns are eigenvectors.
+func jacobiEigen(a *tensor.Matrix) ([]float64, *tensor.Matrix) {
+	n := a.Rows
+	m := a.Clone()
+	v := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-20 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m.At(i, i)
+	}
+	return vals, v
+}

@@ -1,0 +1,471 @@
+// Package telecom simulates the proprietary carrier-grade VNF testing
+// corpus of §4.2: many build chains — (testbed, SUT, test case) combinations
+// tested across a sequence of software builds — each producing a contextual
+// time series of workload/performance metrics and network-card CPU usage at
+// 15-minute intervals.
+//
+// The generator reproduces the statistical structure the paper's
+// experiments rely on, rather than any particular confidential trace:
+//
+//   - Environment-dependent response: the mapping from contextual features
+//     to CPU varies per chain, but chains sharing EM components (testbed,
+//     SUT, test case, build family) have correlated response coefficients —
+//     this is what makes environment embeddings learnable (Figure 6) and
+//     per-chain weight heatmaps diverse (Figure 1).
+//   - Partial metric availability: each testbed is missing a subset of
+//     metrics (the white cells of Figure 1).
+//   - Fault injection: the newest build of selected executions carries
+//     labelled problem episodes (CPU spikes, leaks, regressions) plus
+//     "silent" problems that perturb only non-CPU metrics, mirroring the
+//     paper's note that most simulated problems have no metric impact.
+package telecom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"env2vec/internal/dataset"
+	"env2vec/internal/envmeta"
+	"env2vec/internal/tensor"
+	"env2vec/internal/workload"
+)
+
+// FeatureNamesList is the contextual-feature schema of the corpus,
+// mirroring the dataframe of Table 2 (workload metrics first, then
+// performance metrics).
+var FeatureNamesList = []string{
+	"client_ue", "burst_period", "demand_mbps", "pkt_cnt_ingress", "pkt_cnt_egress",
+	"success_ratio_mod1", "success_ratio_mod2", "resp_code_2xx", "resp_code_50x",
+	"active_sessions", "setup_rate", "jitter_ms", "retrans_cnt", "queue_depth",
+}
+
+// NumFeatures is the contextual-feature dimensionality.
+var NumFeatures = len(FeatureNamesList)
+
+// Config sizes the corpus. The defaults are a laptop-scale version of the
+// paper's dataset (125 chains, ~400k points at full scale); scale
+// StepsPerBuild and BuildsPerChain up to match the paper exactly.
+type Config struct {
+	Seed            int64
+	Testbeds        int // distinct testbeds (paper: ~100)
+	SUTs            int // distinct systems under test
+	Testcases       int // distinct test cases
+	Chains          int // build chains (paper: 125)
+	BuildsPerChain  int // builds per chain, oldest → newest
+	StepsPerBuild   int // 15-minute samples per test execution
+	FaultExecutions int // newest-build executions receiving labelled faults (paper: 11)
+	StepSeconds     int64
+}
+
+// DefaultConfig returns the evaluation-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		Testbeds:        20,
+		SUTs:            6,
+		Testcases:       10,
+		Chains:          125,
+		BuildsPerChain:  4,
+		StepsPerBuild:   80,
+		FaultExecutions: 11,
+		StepSeconds:     15 * 60,
+	}
+}
+
+// SmallConfig returns a fast configuration for unit tests.
+func SmallConfig() Config {
+	return Config{
+		Seed:            1,
+		Testbeds:        5,
+		SUTs:            3,
+		Testcases:       4,
+		Chains:          12,
+		BuildsPerChain:  3,
+		StepsPerBuild:   40,
+		FaultExecutions: 3,
+		StepSeconds:     15 * 60,
+	}
+}
+
+// buildFamilies are the build-type letters whose embeddings should cluster
+// in Figure 6 (S=stable, B=beta, D=debug, T=test, R=release-candidate).
+var buildFamilies = []string{"S", "B", "D", "T", "R"}
+
+// FaultKind enumerates injected problem scenarios.
+type FaultKind int
+
+// Injected fault scenarios.
+const (
+	FaultCPUSpike   FaultKind = iota // sudden sustained CPU elevation
+	FaultLeak                        // slow upward drift (resource leak)
+	FaultRegression                  // level shift across the whole run
+	FaultSilent                      // perturbs only non-CPU metrics (no label)
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCPUSpike:
+		return "cpu-spike"
+	case FaultLeak:
+		return "leak"
+	case FaultRegression:
+		return "regression"
+	case FaultSilent:
+		return "silent"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is one injected problem episode.
+type Fault struct {
+	Kind      FaultKind
+	Start     int     // timestep index within the execution
+	Duration  int     // timesteps
+	Magnitude float64 // CPU percentage points at peak (0 for silent faults)
+}
+
+// Execution pairs the newest build's series with its injected faults.
+type Execution struct {
+	Series *dataset.Series
+	Faults []Fault
+}
+
+// Corpus is the generated dataset plus evaluation bookkeeping.
+type Corpus struct {
+	Config       Config
+	Dataset      *dataset.Dataset
+	ChainOrder   []string                        // deterministic chain iteration order
+	ChainSeries  map[string][]*dataset.Series    // build order within each chain
+	Current      map[string]*dataset.Series      // newest build per chain
+	FaultTargets []*Execution                    // executions with injected faults
+	envEffects   map[string]map[string][]float64 // entity kind → name → effect vector
+}
+
+// chainSpec is the sampled identity of one build chain.
+type chainSpec struct {
+	testbed, sut, testcase string
+	family                 string
+	startVersion           int
+}
+
+// Generate builds the corpus deterministically from cfg.Seed.
+func Generate(cfg Config) *Corpus {
+	if cfg.Chains <= 0 || cfg.BuildsPerChain <= 0 || cfg.StepsPerBuild <= 1 {
+		panic(fmt.Sprintf("telecom: invalid config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Corpus{
+		Config:      cfg,
+		Dataset:     &dataset.Dataset{FeatureNames: append([]string(nil), FeatureNamesList...)},
+		ChainSeries: make(map[string][]*dataset.Series),
+		Current:     make(map[string]*dataset.Series),
+		envEffects:  make(map[string]map[string][]float64),
+	}
+
+	// Entity effect vectors: chains sharing an entity share its effect.
+	effect := func(kind, name string, dim int, scale float64) []float64 {
+		byName, ok := c.envEffects[kind]
+		if !ok {
+			byName = make(map[string][]float64)
+			c.envEffects[kind] = byName
+		}
+		if v, ok := byName[name]; ok {
+			return v
+		}
+		// Derive from a name-seeded RNG so the effect is stable however
+		// chains are ordered.
+		h := int64(0)
+		for _, b := range []byte(kind + "/" + name) {
+			h = h*131 + int64(b)
+		}
+		erng := rand.New(rand.NewSource(cfg.Seed ^ h))
+		v := make([]float64, dim)
+		for i := range v {
+			v[i] = erng.NormFloat64() * scale
+		}
+		byName[name] = v
+		return v
+	}
+
+	// Per-testbed metric availability mask (Figure 1's white cells).
+	maskFor := func(testbed string) []bool {
+		m := make([]bool, NumFeatures)
+		h := int64(0)
+		for _, b := range []byte(testbed) {
+			h = h*131 + int64(b)
+		}
+		mrng := rand.New(rand.NewSource(cfg.Seed ^ (h * 7)))
+		for i := range m {
+			m[i] = mrng.Float64() > 0.15 // ~15% of metrics unavailable
+		}
+		// The demand metric is always available: it anchors the workload.
+		m[2] = true
+		return m
+	}
+
+	// Sample distinct chains.
+	specs := make([]chainSpec, 0, cfg.Chains)
+	seen := make(map[string]bool)
+	for len(specs) < cfg.Chains {
+		spec := chainSpec{
+			testbed:      fmt.Sprintf("tb%02d", rng.Intn(cfg.Testbeds)),
+			sut:          fmt.Sprintf("SUT_%c", 'A'+rng.Intn(cfg.SUTs)),
+			testcase:     testcaseName(rng.Intn(cfg.Testcases)),
+			family:       buildFamilies[rng.Intn(len(buildFamilies))],
+			startVersion: 1 + rng.Intn(8),
+		}
+		key := spec.testbed + "|" + spec.sut + "|" + spec.testcase
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		specs = append(specs, spec)
+	}
+
+	baseTime := int64(1_500_000_000)
+	for ci, spec := range specs {
+		chainID := spec.testbed + "|" + spec.sut + "|" + spec.testcase
+		c.ChainOrder = append(c.ChainOrder, chainID)
+		mask := maskFor(spec.testbed)
+		for b := 0; b < cfg.BuildsPerChain; b++ {
+			env := envmeta.Environment{
+				Testbed:  spec.testbed,
+				SUT:      spec.sut,
+				Testcase: spec.testcase,
+				Build:    fmt.Sprintf("%s%02d", spec.family, spec.startVersion+b),
+			}
+			srng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*977 + int64(b)*13))
+			series := c.generateSeries(env, chainID, b, mask, effect, baseTime, srng)
+			c.Dataset.Series = append(c.Dataset.Series, series)
+			c.ChainSeries[chainID] = append(c.ChainSeries[chainID], series)
+			c.Current[chainID] = series
+			baseTime += int64(cfg.StepsPerBuild) * cfg.StepSeconds
+		}
+	}
+	sort.Strings(c.ChainOrder)
+
+	c.injectFaults(rng)
+	return c
+}
+
+func testcaseName(i int) string {
+	kinds := []string{"endurance", "regression", "load", "volume", "surge", "soak",
+		"failover", "upgrade", "slicing", "elasticity", "stress", "longevity"}
+	return kinds[i%len(kinds)]
+}
+
+// generateSeries produces one test execution: CF matrix + CPU series whose
+// response coefficients blend the shared entity effects.
+func (c *Corpus) generateSeries(env envmeta.Environment, chainID string, buildIdx int,
+	mask []bool, effect func(kind, name string, dim int, scale float64) []float64,
+	baseTime int64, rng *rand.Rand) *dataset.Series {
+
+	cfg := c.Config
+	n := cfg.StepsPerBuild
+	s := &dataset.Series{
+		Env:        env,
+		ChainID:    chainID,
+		BuildIndex: buildIdx,
+		Times:      make([]int64, n),
+		CF:         tensor.New(n, NumFeatures),
+		RU:         make([]float64, n),
+		Anomalous:  make([]bool, n),
+	}
+
+	// Response coefficients: base + entity effects. dim = 6 response terms.
+	const respDim = 6
+	// Nonlinear terms (interaction, saturation knee, burst signalling)
+	// carry substantial weight so per-chain linear models mispredict in
+	// heavy-load regimes — the false-alarm source Table 5 exposes.
+	base := []float64{14, 7, 9, 8, 6, 4} // term scales in CPU percentage points
+	tb := effect("testbed", env.Testbed, respDim, 0.25)
+	sut := effect("sut", env.SUT, respDim, 0.35)
+	tc := effect("testcase", env.Testcase, respDim, 0.25)
+	bt := effect("buildtype", env.BuildType(), respDim, 0.70)
+	bv := effect("buildvers", env.Build, respDim, 0.10) // version-level drift
+	coef := make([]float64, respDim)
+	for i := range coef {
+		coef[i] = base[i] * (1 + tb[i] + sut[i] + tc[i] + bt[i] + bv[i])
+	}
+	// Debug builds burn extra CPU; stable builds are lean.
+	baseline := 20.0
+	switch env.BuildType() {
+	case "D":
+		baseline += 10
+	case "S":
+		baseline -= 3
+	}
+
+	// Traffic model depends on the test case.
+	model := workload.ModelDaily
+	switch env.Testcase {
+	case "surge", "stress":
+		model = workload.ModelSurge
+	case "load", "volume":
+		model = workload.ModelSelfSimilar
+	case "soak", "longevity":
+		model = workload.ModelConstant
+	}
+	stepsPerDay := int(86400 / cfg.StepSeconds)
+	load := model.Generate(rng, n, stepsPerDay)
+	// Legitimate load excursions: short windows of unusually high demand.
+	// They are benign (the CPU rise is workload-driven, not a defect), but
+	// they sit in the saturating region of the response where per-chain
+	// linear models extrapolate badly and context-free detectors see only
+	// an unexplained CPU shift — the false-alarm source behind the A_T
+	// gaps of Table 5. Newer builds see more of them, mirroring testing
+	// campaigns that push load limits on release candidates.
+	nExc := 1 + buildIdx
+	for e := 0; e < nExc; e++ {
+		dur := 4 + rng.Intn(n/8)
+		at := rng.Intn(n - dur)
+		factor := 1.5 + rng.Float64()*0.9
+		for i := at; i < at+dur; i++ {
+			load[i] *= factor
+		}
+	}
+	ar := &workload.AR1{Phi: 0.55, Std: 0.6}
+
+	for i := 0; i < n; i++ {
+		s.Times[i] = baseTime + int64(i)*cfg.StepSeconds
+		l := load[i]
+		sessions := math.Max(0, l*(0.9+0.2*rng.Float64()))
+		burst := 0.5 + 0.5*math.Sin(float64(i)/11+float64(buildIdx))
+		success := clamp01(0.995 - 0.02*math.Max(0, l-1.4) + rng.NormFloat64()*0.002)
+		jitter := math.Max(0.1, 2+3*math.Max(0, l-1.2)+rng.NormFloat64()*0.3)
+
+		row := s.CF.Row(i)
+		row[0] = math.Round(1000 * sessions * (1 + rng.NormFloat64()*0.02)) // client_ue
+		row[1] = burst                                                      // burst_period
+		row[2] = 900 * l * (1 + rng.NormFloat64()*0.02)                     // demand_mbps
+		row[3] = 52000 * l * (1 + rng.NormFloat64()*0.03)                   // pkt ingress
+		row[4] = 50000 * l * success * (1 + rng.NormFloat64()*0.03)         // pkt egress
+		row[5] = success
+		row[6] = clamp01(success - 0.001 + rng.NormFloat64()*0.002)
+		row[7] = 8000 * sessions * success * (1 + rng.NormFloat64()*0.05) // 2xx
+		row[8] = math.Max(0, 8000*sessions*(1-success)*(1+rng.NormFloat64()*0.2))
+		row[9] = 400 * sessions * (1 + rng.NormFloat64()*0.03)
+		row[10] = 30 * sessions * burst * (1 + rng.NormFloat64()*0.08)
+		row[11] = jitter
+		row[12] = math.Max(0, 200*l*(1-success)*50*(1+rng.NormFloat64()*0.3))
+		row[13] = math.Max(0, 40*math.Max(0, l-0.8)*(1+rng.NormFloat64()*0.1))
+
+		// Response terms over the latent workload.
+		terms := []float64{
+			l,                         // linear load
+			sessions,                  // session handling
+			l * sessions,              // interaction
+			sigmoid(4 * (l - 1.3)),    // saturation knee
+			burst * l,                 // bursty signalling
+			math.Max(0, jitter-3) / 3, // congestion follow-on
+		}
+		cpu := baseline
+		for t, term := range terms {
+			cpu += coef[t] * term
+		}
+		cpu += ar.Next(rng)
+		s.RU[i] = clampCPU(cpu)
+
+		// Apply the availability mask after the response so hidden metrics
+		// still influence CPU (they are real, just not collected).
+		for j := range row {
+			if !mask[j] {
+				row[j] = 0
+			}
+		}
+	}
+	return s
+}
+
+// injectFaults picks FaultExecutions newest-build executions and injects
+// labelled problem episodes, plus silent perturbations.
+func (c *Corpus) injectFaults(rng *rand.Rand) {
+	chains := append([]string(nil), c.ChainOrder...)
+	rng.Shuffle(len(chains), func(i, j int) { chains[i], chains[j] = chains[j], chains[i] })
+	nTargets := c.Config.FaultExecutions
+	if nTargets > len(chains) {
+		nTargets = len(chains)
+	}
+	for _, chainID := range chains[:nTargets] {
+		series := c.Current[chainID]
+		exec := &Execution{Series: series}
+		nEpisodes := 2 + rng.Intn(3) // 2–4 labelled episodes per faulty execution
+		for e := 0; e < nEpisodes; e++ {
+			kind := []FaultKind{FaultCPUSpike, FaultLeak, FaultRegression}[rng.Intn(3)]
+			f := c.injectOne(series, kind, rng)
+			exec.Faults = append(exec.Faults, f)
+		}
+		// One silent problem that moves only non-CPU metrics.
+		exec.Faults = append(exec.Faults, c.injectOne(series, FaultSilent, rng))
+		c.FaultTargets = append(c.FaultTargets, exec)
+	}
+}
+
+// labelThreshold is the CPU impact (percentage points) above which an
+// injected deviation counts as a ground-truth performance problem.
+const labelThreshold = 3.0
+
+func (c *Corpus) injectOne(s *dataset.Series, kind FaultKind, rng *rand.Rand) Fault {
+	n := s.Len()
+	dur := 3 + rng.Intn(n/4)
+	start := rng.Intn(n - dur)
+	f := Fault{Kind: kind, Start: start, Duration: dur}
+	switch kind {
+	case FaultCPUSpike:
+		f.Magnitude = 5 + rng.Float64()*9
+		for i := start; i < start+dur; i++ {
+			s.RU[i] = clampCPU(s.RU[i] + f.Magnitude)
+			s.Anomalous[i] = f.Magnitude >= labelThreshold
+		}
+	case FaultLeak:
+		f.Magnitude = 7 + rng.Float64()*9
+		for i := start; i < start+dur; i++ {
+			impact := f.Magnitude * float64(i-start+1) / float64(dur)
+			s.RU[i] = clampCPU(s.RU[i] + impact)
+			if impact >= labelThreshold {
+				s.Anomalous[i] = true
+			}
+		}
+	case FaultRegression:
+		f.Magnitude = 4 + rng.Float64()*6
+		dur = n - start
+		f.Duration = dur
+		for i := start; i < n; i++ {
+			s.RU[i] = clampCPU(s.RU[i] + f.Magnitude)
+			s.Anomalous[i] = f.Magnitude >= labelThreshold
+		}
+	case FaultSilent:
+		// Latency surge visible only in jitter/success metrics.
+		for i := start; i < start+dur; i++ {
+			row := s.CF.Row(i)
+			row[11] += 5 // jitter_ms
+			row[5] = clamp01(row[5] - 0.01)
+		}
+	}
+	return f
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func clampCPU(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 100 {
+		return 100
+	}
+	return x
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

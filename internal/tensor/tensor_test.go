@@ -1,0 +1,289 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %v", m)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("element %d not zero: %v", i, v)
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Fatalf("At/Set roundtrip failed")
+	}
+	r := m.Row(1)
+	if r[2] != 7.5 {
+		t.Fatalf("Row aliasing failed")
+	}
+	r[0] = -1
+	if m.At(1, 0) != -1 {
+		t.Fatalf("Row must alias storage")
+	}
+}
+
+func TestFromRowsAndVectors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows layout wrong: %v", m)
+	}
+	rv := RowVector([]float64{1, 2, 3})
+	if rv.Rows != 1 || rv.Cols != 3 {
+		t.Fatalf("RowVector shape: %v", rv)
+	}
+	cv := ColVector([]float64{1, 2, 3})
+	if cv.Rows != 3 || cv.Cols != 1 {
+		t.Fatalf("ColVector shape: %v", cv)
+	}
+}
+
+func TestFromSlicePanicsOnBadLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	c := MatMul(a, b)
+	want := FromRows([][]float64{{58, 64}, {139, 154}})
+	if !Equal(c, want, 1e-12) {
+		t.Fatalf("MatMul got %v want %v", c, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 4)
+	a.RandNormal(rng, 1)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+	}
+	if !Equal(MatMul(a, id), a, 1e-12) || !Equal(MatMul(id, a), a, 1e-12) {
+		t.Fatalf("identity multiplication should be a no-op")
+	}
+}
+
+func TestMatMulInto(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	out := New(2, 2)
+	out.Fill(99) // stale values must be cleared
+	MatMulInto(out, a, b)
+	if !Equal(out, MatMul(a, b), 1e-12) {
+		t.Fatalf("MatMulInto mismatch: %v", out)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := New(3, 5)
+	m.RandNormal(rng, 1)
+	if !Equal(m.Transpose().Transpose(), m, 0) {
+		t.Fatalf("transpose should be an involution")
+	}
+	if m.Transpose().At(4, 2) != m.At(2, 4) {
+		t.Fatalf("transpose element mapping wrong")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromRows([][]float64{{1, -2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {-7, 8}})
+	if got := Add(a, b).Data; got[0] != 6 || got[3] != 12 {
+		t.Fatalf("Add wrong: %v", got)
+	}
+	if got := Sub(a, b).Data; got[1] != -8 {
+		t.Fatalf("Sub wrong: %v", got)
+	}
+	if got := Mul(a, b).Data; got[2] != -21 {
+		t.Fatalf("Mul wrong: %v", got)
+	}
+	if got := Scale(a, 2).Data; got[0] != 2 || got[1] != -4 {
+		t.Fatalf("Scale wrong: %v", got)
+	}
+}
+
+func TestAddRowBroadcast(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := RowVector([]float64{10, 20})
+	got := AddRowBroadcast(m, b)
+	want := FromRows([][]float64{{11, 22}, {13, 24}})
+	if !Equal(got, want, 0) {
+		t.Fatalf("broadcast wrong: %v", got)
+	}
+}
+
+func TestApplySumMeanDot(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	sq := Apply(m, func(x float64) float64 { return x * x })
+	if sq.Sum() != 30 {
+		t.Fatalf("Apply/Sum wrong: %v", sq.Sum())
+	}
+	if m.Mean() != 2.5 {
+		t.Fatalf("Mean wrong: %v", m.Mean())
+	}
+	if Dot(m, m) != 30 {
+		t.Fatalf("Dot wrong")
+	}
+	empty := New(0, 0)
+	if empty.Mean() != 0 {
+		t.Fatalf("empty Mean should be 0")
+	}
+}
+
+func TestConcatAndSlice(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5}, {6}})
+	c := ConcatCols(a, b)
+	if c.Cols != 3 || c.At(0, 2) != 5 || c.At(1, 2) != 6 {
+		t.Fatalf("ConcatCols wrong: %v", c)
+	}
+	if !Equal(c.SliceCols(0, 2), a, 0) {
+		t.Fatalf("SliceCols should recover left operand")
+	}
+	if !Equal(c.SliceCols(2, 3), b, 0) {
+		t.Fatalf("SliceCols should recover right operand")
+	}
+	if !Equal(c.SliceRows(1, 2), FromRows([][]float64{{3, 4, 6}}), 0) {
+		t.Fatalf("SliceRows wrong")
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	g := GatherRows(m, []int{2, 0, 2})
+	want := FromRows([][]float64{{3, 3}, {1, 1}, {3, 3}})
+	if !Equal(g, want, 0) {
+		t.Fatalf("GatherRows wrong: %v", g)
+	}
+}
+
+func TestGatherRowsPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	GatherRows(New(2, 2), []int{3})
+}
+
+func TestInPlaceOps(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	m.AddInPlace(RowVector([]float64{3, 4}))
+	if m.At(0, 1) != 6 {
+		t.Fatalf("AddInPlace wrong")
+	}
+	m.ScaleInPlace(0.5)
+	if m.At(0, 0) != 2 {
+		t.Fatalf("ScaleInPlace wrong")
+	}
+	m.Zero()
+	if m.Sum() != 0 {
+		t.Fatalf("Zero wrong")
+	}
+	m.Fill(3)
+	if m.Sum() != 6 {
+		t.Fatalf("Fill wrong")
+	}
+}
+
+func TestInitializers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := New(50, 40)
+	m.GlorotUniform(rng)
+	limit := math.Sqrt(6.0 / 90.0)
+	if m.MaxAbs() > limit {
+		t.Fatalf("Glorot values exceed limit %v: %v", limit, m.MaxAbs())
+	}
+	if m.MaxAbs() == 0 {
+		t.Fatalf("Glorot left matrix zeroed")
+	}
+	n := New(10, 10)
+	n.RandUniform(rng, 0.5)
+	if n.MaxAbs() > 0.5 {
+		t.Fatalf("RandUniform exceeded scale")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := FromRows([][]float64{{-3, 2}})
+	if m.MaxAbs() != 3 {
+		t.Fatalf("MaxAbs wrong")
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ for random shapes and values.
+func TestMatMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, k, c := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := New(r, k)
+		a.RandNormal(rng, 1)
+		b := New(k, c)
+		b.RandNormal(rng, 1)
+		return Equal(MatMul(a, b).Transpose(), MatMul(b.Transpose(), a.Transpose()), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matrix multiplication distributes over addition.
+func TestMatMulDistributive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, k, c := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := New(r, k)
+		a.RandNormal(rng, 1)
+		b := New(k, c)
+		b.RandNormal(rng, 1)
+		d := New(k, c)
+		d.RandNormal(rng, 1)
+		left := MatMul(a, Add(b, d))
+		right := Add(MatMul(a, b), MatMul(a, d))
+		return Equal(left, right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	cases := []func(){
+		func() { MatMul(New(2, 3), New(2, 3)) },
+		func() { Add(New(1, 2), New(2, 1)) },
+		func() { ConcatCols(New(1, 2), New(2, 2)) },
+		func() { New(2, 2).SliceCols(1, 5) },
+		func() { New(2, 2).SliceRows(-1, 1) },
+		func() { AddRowBroadcast(New(2, 2), New(2, 2)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

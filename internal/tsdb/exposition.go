@@ -1,0 +1,167 @@
+package tsdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseExposition reads the Prometheus text exposition format (the subset
+// used by metric collectors in the workflow):
+//
+//	metric_name{label="value",other="v2"} 12.5 [timestamp]
+//
+// Comment lines (#) and blank lines are skipped. The metric name is added
+// to the returned label set under the key "__name__". Timestamps are unix
+// seconds; when omitted, defaultTime is used.
+func ParseExposition(r io.Reader, defaultTime int64) ([]Series, error) {
+	scanner := bufio.NewScanner(r)
+	byFP := make(map[string]*Series)
+	var order []string
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		labels, value, ts, err := parseLine(line, defaultTime)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: exposition line %d: %w", lineNo, err)
+		}
+		fp := labels.Fingerprint()
+		s, ok := byFP[fp]
+		if !ok {
+			s = &Series{Labels: labels}
+			byFP[fp] = s
+			order = append(order, fp)
+		}
+		s.Samples = append(s.Samples, Sample{T: ts, V: value})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("tsdb: exposition scan: %w", err)
+	}
+	out := make([]Series, 0, len(order))
+	for _, fp := range order {
+		out = append(out, *byFP[fp])
+	}
+	return out, nil
+}
+
+func parseLine(line string, defaultTime int64) (Labels, float64, int64, error) {
+	labels := Labels{}
+	rest := line
+	// Metric name runs until '{' or whitespace.
+	nameEnd := strings.IndexAny(rest, "{ \t")
+	if nameEnd <= 0 {
+		return nil, 0, 0, fmt.Errorf("missing metric name")
+	}
+	labels["__name__"] = rest[:nameEnd]
+	rest = strings.TrimSpace(rest[nameEnd:])
+
+	if strings.HasPrefix(rest, "{") {
+		close := strings.Index(rest, "}")
+		if close < 0 {
+			return nil, 0, 0, fmt.Errorf("unterminated label set")
+		}
+		if err := parseLabels(rest[1:close], labels); err != nil {
+			return nil, 0, 0, err
+		}
+		rest = strings.TrimSpace(rest[close+1:])
+	}
+
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, 0, 0, fmt.Errorf("expected value [timestamp], got %q", rest)
+	}
+	value, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	ts := defaultTime
+	if len(fields) == 2 {
+		ts, err = strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("bad timestamp %q: %v", fields[1], err)
+		}
+	}
+	return labels, value, ts, nil
+}
+
+func parseLabels(s string, into Labels) error {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	// Split on commas outside quotes.
+	var parts []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		eq := strings.Index(p, "=")
+		if eq < 0 {
+			return fmt.Errorf("bad label pair %q", p)
+		}
+		k := strings.TrimSpace(p[:eq])
+		v := strings.TrimSpace(p[eq+1:])
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label value must be quoted: %q", p)
+		}
+		into[k] = v[1 : len(v)-1]
+	}
+	return nil
+}
+
+// WriteExposition renders series in the text exposition format, one line
+// per sample; the "__name__" label supplies the metric name (defaulting to
+// "metric" when absent).
+func WriteExposition(w io.Writer, series []Series) error {
+	for _, s := range series {
+		name := s.Labels["__name__"]
+		if name == "" {
+			name = "metric"
+		}
+		var pairs []string
+		keys := make([]string, 0, len(s.Labels))
+		for k := range s.Labels {
+			if k == "__name__" {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			pairs = append(pairs, fmt.Sprintf("%s=%q", k, s.Labels[k]))
+		}
+		labelStr := ""
+		if len(pairs) > 0 {
+			labelStr = "{" + strings.Join(pairs, ",") + "}"
+		}
+		for _, smp := range s.Samples {
+			if _, err := fmt.Fprintf(w, "%s%s %s %d\n", name, labelStr,
+				strconv.FormatFloat(smp.V, 'g', -1, 64), smp.T); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package tsdb
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseExposition checks the text-exposition parser never panics and
+// that everything it accepts survives a write→parse round trip.
+func FuzzParseExposition(f *testing.F) {
+	f.Add("cpu_usage{env=\"e1\"} 42.5 1000\n")
+	f.Add("m 1\n# comment\n\nm2{a=\"b\",c=\"d\"} 3 4\n")
+	f.Add("{} 1")
+	f.Add("name{unterminated 5")
+	f.Add("x nan")
+	f.Add("x 1 2 3")
+	f.Fuzz(func(t *testing.T, input string) {
+		series, err := ParseExposition(strings.NewReader(input), 7)
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if err := WriteExposition(&b, series); err != nil {
+			t.Fatalf("accepted input failed to re-serialize: %v", err)
+		}
+		again, err := ParseExposition(strings.NewReader(b.String()), 7)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v\noriginal: %q\nwritten: %q", err, input, b.String())
+		}
+		count := func(ss []Series) int {
+			n := 0
+			for _, s := range ss {
+				n += len(s.Samples)
+			}
+			return n
+		}
+		if count(again) != count(series) {
+			t.Fatalf("round trip changed sample count: %d -> %d", count(series), count(again))
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package tsdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// persistedSeries is the on-disk JSON-lines record (one series per line).
+type persistedSeries struct {
+	Labels  map[string]string `json:"labels"`
+	Samples []Sample          `json:"samples"`
+}
+
+// SaveFile writes a snapshot of the whole database as JSON lines. The write
+// goes to a temp file and is committed with an atomic rename so a crash
+// mid-save never corrupts an existing snapshot.
+func (db *DB) SaveFile(path string) error {
+	db.mu.RLock()
+	fps := make([]string, 0, len(db.series))
+	for fp := range db.series {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	records := make([]persistedSeries, 0, len(fps))
+	for _, fp := range fps {
+		s := db.series[fp]
+		records = append(records, persistedSeries{
+			Labels:  s.Labels.Clone(),
+			Samples: append([]Sample(nil), s.Samples...),
+		})
+	}
+	db.mu.RUnlock()
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("tsdb: save: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, rec := range records {
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return fmt.Errorf("tsdb: save: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("tsdb: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("tsdb: save: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores a snapshot produced by SaveFile into a fresh database.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: load: %w", err)
+	}
+	defer f.Close()
+	db := New()
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	line := 0
+	for scanner.Scan() {
+		line++
+		if len(scanner.Bytes()) == 0 {
+			continue
+		}
+		var rec persistedSeries
+		if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("tsdb: load line %d: %w", line, err)
+		}
+		labels := Labels(rec.Labels)
+		fp := labels.Fingerprint()
+		db.series[fp] = &Series{Labels: labels.Clone(), Samples: rec.Samples}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("tsdb: load: %w", err)
+	}
+	return db, nil
+}
+
+// Retain drops all samples older than cutoff (and any series left empty),
+// returning the number of samples removed — the retention pass a periodic
+// compaction job would run.
+func (db *DB) Retain(cutoff int64) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	removed := 0
+	for fp, s := range db.series {
+		i := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T >= cutoff })
+		if i == 0 {
+			continue
+		}
+		removed += i
+		if i == len(s.Samples) {
+			delete(db.series, fp)
+			continue
+		}
+		s.Samples = append([]Sample(nil), s.Samples[i:]...)
+	}
+	return removed
+}
+
+// NumSamples returns the total number of stored samples across all series.
+func (db *DB) NumSamples() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, s := range db.series {
+		n += len(s.Samples)
+	}
+	return n
+}

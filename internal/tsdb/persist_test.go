@@ -1,0 +1,93 @@
+package tsdb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func populated() *DB {
+	db := New()
+	for i := int64(0); i < 10; i++ {
+		_ = db.Append(Labels{"m": "cpu", "env": "a"}, i*10, float64(i))
+		_ = db.Append(Labels{"m": "mem", "env": "b"}, i*10+5, float64(i)*2)
+	}
+	return db
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := populated()
+	path := filepath.Join(t.TempDir(), "tsdb.jsonl")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumSeries() != db.NumSeries() || loaded.NumSamples() != db.NumSamples() {
+		t.Fatalf("loaded %d/%d, want %d/%d",
+			loaded.NumSeries(), loaded.NumSamples(), db.NumSeries(), db.NumSamples())
+	}
+	orig := db.Query(Labels{"env": "a"}, 0, 1<<62)
+	got := loaded.Query(Labels{"env": "a"}, 0, 1<<62)
+	if len(got) != 1 || len(got[0].Samples) != len(orig[0].Samples) {
+		t.Fatalf("series content differs after round trip")
+	}
+	for i, smp := range got[0].Samples {
+		if smp != orig[0].Samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	db := populated()
+	path := filepath.Join(t.TempDir(), "tsdb.jsonl")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatalf("missing file should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{corrupt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad); err == nil {
+		t.Fatalf("corrupt file should error")
+	}
+}
+
+func TestRetain(t *testing.T) {
+	db := populated() // samples at t=0..90 (cpu) and 5..95 (mem)
+	removed := db.Retain(50)
+	if removed != 10 {
+		t.Fatalf("removed %d, want 10", removed)
+	}
+	for _, s := range db.Query(Labels{}, 0, 1<<62) {
+		for _, smp := range s.Samples {
+			if smp.T < 50 {
+				t.Fatalf("sample below cutoff survived: %+v", smp)
+			}
+		}
+	}
+	// Retaining beyond all data empties the DB.
+	if db.Retain(1000); db.NumSeries() != 0 {
+		t.Fatalf("full retention should drop all series")
+	}
+}
+
+func TestRetainKeepsAppendable(t *testing.T) {
+	db := populated()
+	db.Retain(50)
+	if err := db.Append(Labels{"m": "cpu", "env": "a"}, 200, 1); err != nil {
+		t.Fatalf("append after retention failed: %v", err)
+	}
+}

@@ -1,0 +1,182 @@
+package tsdb
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// SDEntry is one entry of the file-based service-discovery configuration —
+// the JSON shape quoted in §3 step (1):
+//
+//	[{"targets": ["IP:PORT"], "labels": {"env": "EM_record_id"}}]
+type SDEntry struct {
+	Targets []string          `json:"targets"`
+	Labels  map[string]string `json:"labels"`
+}
+
+// ReadSDConfig parses a service-discovery JSON file.
+func ReadSDConfig(path string) ([]SDEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: read sd config: %w", err)
+	}
+	var entries []SDEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("tsdb: parse sd config: %w", err)
+	}
+	return entries, nil
+}
+
+// WriteSDConfig writes (atomically via rename) a service-discovery file;
+// the workflow appends a new entry whenever a test case starts.
+func WriteSDConfig(path string, entries []SDEntry) error {
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tsdb: marshal sd config: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("tsdb: write sd config: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("tsdb: commit sd config: %w", err)
+	}
+	return nil
+}
+
+// AppendSDTarget adds one target+labels entry to the discovery file,
+// creating the file if needed.
+func AppendSDTarget(path, target string, labels map[string]string) error {
+	entries, err := ReadSDConfig(path)
+	if err != nil {
+		if !os.IsNotExist(err) && !isNotExistWrapped(err) {
+			return err
+		}
+		entries = nil
+	}
+	entries = append(entries, SDEntry{Targets: []string{target}, Labels: labels})
+	return WriteSDConfig(path, entries)
+}
+
+func isNotExistWrapped(err error) bool {
+	for err != nil {
+		if os.IsNotExist(err) {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// Scraper periodically pulls /metrics from discovered targets into a DB,
+// attaching the discovery labels to every scraped series.
+type Scraper struct {
+	DB       *DB
+	SDPath   string
+	Interval time.Duration
+	Client   *http.Client
+	// Now supplies the default sample timestamp; overridable in tests.
+	Now func() int64
+
+	mu      sync.Mutex
+	scrapes int
+	errs    int
+}
+
+// NewScraper builds a scraper over db using the discovery file at sdPath.
+func NewScraper(db *DB, sdPath string, interval time.Duration) *Scraper {
+	return &Scraper{
+		DB: db, SDPath: sdPath, Interval: interval,
+		Client: &http.Client{Timeout: 5 * time.Second},
+		Now:    func() int64 { return time.Now().Unix() },
+	}
+}
+
+// ScrapeOnce performs one discovery+scrape cycle and returns the number of
+// samples ingested.
+func (s *Scraper) ScrapeOnce(ctx context.Context) (int, error) {
+	entries, err := ReadSDConfig(s.SDPath)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, e := range entries {
+		for _, target := range e.Targets {
+			n, err := s.scrapeTarget(ctx, target, e.Labels)
+			s.mu.Lock()
+			s.scrapes++
+			if err != nil {
+				s.errs++
+			}
+			s.mu.Unlock()
+			if err != nil {
+				continue // a down target must not block the others
+			}
+			total += n
+		}
+	}
+	return total, nil
+}
+
+func (s *Scraper) scrapeTarget(ctx context.Context, target string, extra map[string]string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+target+"/metrics", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := s.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("tsdb: scrape %s: status %d", target, resp.StatusCode)
+	}
+	series, err := ParseExposition(resp.Body, s.Now())
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, sr := range series {
+		labels := sr.Labels.Clone()
+		for k, v := range extra {
+			labels[k] = v
+		}
+		labels["instance"] = target
+		for _, smp := range sr.Samples {
+			if err := s.DB.Append(labels, smp.T, smp.V); err == nil {
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+// Run scrapes on the configured interval until the context is cancelled.
+func (s *Scraper) Run(ctx context.Context) {
+	ticker := time.NewTicker(s.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			_, _ = s.ScrapeOnce(ctx)
+		}
+	}
+}
+
+// Stats returns the scrape and error counters.
+func (s *Scraper) Stats() (scrapes, errs int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scrapes, s.errs
+}

@@ -1,0 +1,162 @@
+// Package tsdb is a small labelled time-series database standing in for
+// Prometheus in the testing workflow (Figure 2): metric samples carry label
+// sets (including the EM record id, as in the paper's service-discovery
+// snippet), a scraper pulls text-exposition metrics from registered targets,
+// and an HTTP API serves range queries to the prediction pipeline.
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Labels is an immutable-by-convention label set attached to a series.
+type Labels map[string]string
+
+// Fingerprint renders the labels deterministically, for use as a series key.
+func (l Labels) Fingerprint() string {
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(l[k])
+	}
+	return b.String()
+}
+
+// Clone returns a copy of the label set.
+func (l Labels) Clone() Labels {
+	c := make(Labels, len(l))
+	for k, v := range l {
+		c[k] = v
+	}
+	return c
+}
+
+// Matches reports whether every matcher key/value is present in l. An empty
+// matcher matches everything.
+func (l Labels) Matches(matcher Labels) bool {
+	for k, v := range matcher {
+		if l[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Sample is one timestamped value.
+type Sample struct {
+	T int64   // unix seconds
+	V float64 // value
+}
+
+// Series is an ordered sample stream with a label identity.
+type Series struct {
+	Labels  Labels
+	Samples []Sample
+}
+
+// DB is a concurrency-safe in-memory TSDB.
+type DB struct {
+	mu     sync.RWMutex
+	series map[string]*Series
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{series: make(map[string]*Series)}
+}
+
+// Append adds a sample to the series identified by labels, creating it on
+// first use. Out-of-order samples (older than the series head) are rejected,
+// matching the ingestion rule of real TSDBs.
+func (db *DB) Append(labels Labels, t int64, v float64) error {
+	fp := labels.Fingerprint()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.series[fp]
+	if !ok {
+		s = &Series{Labels: labels.Clone()}
+		db.series[fp] = s
+	}
+	if n := len(s.Samples); n > 0 && t < s.Samples[n-1].T {
+		return fmt.Errorf("tsdb: out-of-order sample t=%d < head=%d for {%s}", t, s.Samples[n-1].T, fp)
+	}
+	s.Samples = append(s.Samples, Sample{T: t, V: v})
+	return nil
+}
+
+// Query returns copies of all series whose labels contain matcher, with
+// samples restricted to [from, to] (inclusive; pass from>to for none,
+// from=0,to=MaxInt64 for all). Results are ordered by fingerprint.
+func (db *DB) Query(matcher Labels, from, to int64) []Series {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	fps := make([]string, 0, len(db.series))
+	for fp, s := range db.series {
+		if s.Labels.Matches(matcher) {
+			fps = append(fps, fp)
+		}
+	}
+	sort.Strings(fps)
+	var out []Series
+	for _, fp := range fps {
+		s := db.series[fp]
+		lo := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T >= from })
+		hi := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T > to })
+		if lo >= hi {
+			continue
+		}
+		cp := Series{Labels: s.Labels.Clone(), Samples: append([]Sample(nil), s.Samples[lo:hi]...)}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// Latest returns the most recent sample of the single series matching the
+// labels exactly; ok is false when the series is absent or empty.
+func (db *DB) Latest(labels Labels) (Sample, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.series[labels.Fingerprint()]
+	if !ok || len(s.Samples) == 0 {
+		return Sample{}, false
+	}
+	return s.Samples[len(s.Samples)-1], true
+}
+
+// NumSeries returns the number of distinct series stored.
+func (db *DB) NumSeries() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.series)
+}
+
+// LabelValues returns the sorted distinct values of a label key across all
+// series.
+func (db *DB) LabelValues(key string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	set := make(map[string]bool)
+	for _, s := range db.series {
+		if v, ok := s.Labels[key]; ok {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
