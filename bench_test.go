@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"env2vec"
 	"env2vec/internal/anomaly"
@@ -21,6 +22,7 @@ import (
 	"env2vec/internal/htm"
 	"env2vec/internal/kdn"
 	"env2vec/internal/nn"
+	"env2vec/internal/serve"
 	"env2vec/internal/stats"
 	"env2vec/internal/telecom"
 	"env2vec/internal/tensor"
@@ -344,6 +346,57 @@ func BenchmarkKDNGenerate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = kdn.Generate(kdn.Snort, int64(i))
 	}
+}
+
+// benchServer stands up a prediction server over a quick-trained model and
+// returns it with one raw (unstandardized) request to replay.
+func benchServer(b *testing.B, maxBatch int) (*serve.Server, *serve.Request) {
+	b.Helper()
+	cfg := telecom.SmallConfig()
+	corpus := telecom.Generate(cfg)
+	tcfg := env2vec.TrainerDefaults(telecom.NumFeatures)
+	tcfg.Train.Epochs = 2
+	tr, err := env2vec.Train(corpus.Dataset, nil, tcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := serve.New(serve.Config{MaxBatch: maxBatch, MaxLinger: time.Millisecond, QueueDepth: 4096})
+	srv.SetBundle(&serve.Bundle{
+		Name: "bench", Version: 1,
+		Model: tr.Model, Schema: tr.Schema, Std: tr.Standardizer, YScale: tr.YScale,
+	})
+	b.Cleanup(srv.Close)
+	ex := dataset.WindowExamples(corpus.Dataset.Series[0], tcfg.Model.Window)[0]
+	req := &serve.Request{
+		CF: ex.CF, Window: ex.Window,
+		Testbed: ex.Env.Testbed, SUT: ex.Env.SUT,
+		Testcase: ex.Env.Testcase, Build: ex.Env.Build,
+	}
+	return srv, req
+}
+
+func BenchmarkServeSingle(b *testing.B) {
+	// One request per forward pass: the no-batching floor.
+	srv, req := benchServer(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, code, err := srv.Do(req); err != nil || code != 200 {
+			b.Fatalf("%d %v", code, err)
+		}
+	}
+}
+
+func BenchmarkServeBatched(b *testing.B) {
+	// Concurrent callers sharing forward passes via micro-batching.
+	srv, req := benchServer(b, 32)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, code, err := srv.Do(req); err != nil || code != 200 {
+				b.Fatalf("%d %v", code, err)
+			}
+		}
+	})
 }
 
 func BenchmarkSchemaEncode(b *testing.B) {

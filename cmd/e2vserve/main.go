@@ -1,0 +1,130 @@
+// Command e2vserve is the online prediction daemon: it loads an Env2Vec
+// snapshot (from a local file or by polling a model-registry endpoint),
+// serves per-timestep CPU predictions over HTTP with micro-batching and
+// backpressure, and hot-swaps the model when the registry publishes a new
+// version.
+//
+//	e2vserve -model FILE [-addr :9090]
+//	    Serve a local snapshot that carries serving artifacts
+//	    (written by `env2vec train`).
+//
+//	e2vserve -registry http://HOST:8080 [-name env2vec] [-poll 10s]
+//	    Pull the latest published version and keep polling for updates.
+//
+// Endpoints: POST /predict, GET /healthz, GET /statz.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"env2vec/internal/anomaly"
+	"env2vec/internal/modelserver"
+	"env2vec/internal/nn"
+	"env2vec/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "e2vserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("e2vserve", flag.ExitOnError)
+	addr := fs.String("addr", ":9090", "listen address")
+	registry := fs.String("registry", "", "model-registry base URL to poll (e.g. http://localhost:8080)")
+	name := fs.String("name", "env2vec", "model name in the registry")
+	model := fs.String("model", "", "local snapshot file (alternative to -registry)")
+	poll := fs.Duration("poll", 10*time.Second, "registry poll interval")
+	maxBatch := fs.Int("max-batch", 32, "max requests per forward pass")
+	linger := fs.Duration("linger", 2*time.Millisecond, "max time to wait filling a batch")
+	queue := fs.Int("queue", 256, "admission queue bound (overflow returns 429)")
+	workers := fs.Int("workers", 0, "forward-pass workers (0 = GOMAXPROCS)")
+	gamma := fs.Float64("gamma", 0, "enable inline anomaly verdicts with this γ threshold (0 disables)")
+	absFilter := fs.Float64("abs-filter", 5, "absolute deviation filter for verdicts (0 disables)")
+	minCal := fs.Int("min-cal", 8, "observations per chain before verdicts are emitted")
+	_ = fs.Parse(args)
+	if (*registry == "") == (*model == "") {
+		return errors.New("exactly one of -registry or -model is required")
+	}
+
+	cfg := serve.Config{
+		MaxBatch:       *maxBatch,
+		MaxLinger:      *linger,
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		MinCalibration: *minCal,
+	}
+	if *gamma > 0 {
+		cfg.Detect = &anomaly.Config{Gamma: *gamma, AbsFilter: *absFilter}
+	}
+	srv := serve.New(cfg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *model != "" {
+		snap, err := nn.LoadSnapshotFile(*model)
+		if err != nil {
+			return err
+		}
+		b, err := serve.BundleFromSnapshot(*name, 0, snap)
+		if err != nil {
+			return fmt.Errorf("%s: %w (was it written by `env2vec train`?)", *model, err)
+		}
+		srv.SetBundle(b)
+		fmt.Printf("loaded %s from %s\n", *name, *model)
+	} else {
+		watcher := &modelserver.Watcher{
+			Client:   &modelserver.Client{BaseURL: *registry},
+			Name:     *name,
+			Interval: *poll,
+			OnUpdate: func(snap *nn.Snapshot, ver int) {
+				b, err := serve.BundleFromSnapshot(*name, ver, snap)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "e2vserve: rejecting %s v%d: %v\n", *name, ver, err)
+					return
+				}
+				srv.SetBundle(b)
+				fmt.Printf("serving %s v%d\n", *name, ver)
+			},
+			OnError: func(err error) {
+				fmt.Fprintf(os.Stderr, "e2vserve: registry poll: %v\n", err)
+			},
+		}
+		go watcher.Run(ctx)
+		fmt.Printf("polling %s for %s every %s\n", *registry, *name, *poll)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("listening on %s (POST /predict, GET /healthz, GET /statz)\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	// Stop accepting connections, then drain in-flight batches.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	srv.Close()
+	fmt.Println("drained; bye")
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildServe(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "e2vserve")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestServeRequiresOneSource(t *testing.T) {
+	bin := buildServe(t)
+	for _, args := range [][]string{
+		{}, // neither
+		{"-model", "x.model", "-registry", "http://localhost:8080"}, // both
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Fatalf("args %v: err=%v out=%q", args, err, out)
+		}
+		if !strings.Contains(string(out), "exactly one of -registry or -model") {
+			t.Fatalf("args %v: %q", args, out)
+		}
+	}
+}
+
+func TestServeRejectsMissingSnapshot(t *testing.T) {
+	bin := buildServe(t)
+	out, err := exec.Command(bin, "-model", filepath.Join(t.TempDir(), "nope.model")).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("missing snapshot: err=%v out=%q", err, out)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"env2vec/internal/modelserver"
 	"env2vec/internal/nn"
 	"env2vec/internal/pipeline"
+	"env2vec/internal/serve"
 	"env2vec/internal/telecom"
 )
 
@@ -117,6 +118,11 @@ func cmdTrain(args []string) error {
 		tr.Examples, len(ds.Series), tr.Fit.FinalValLoss, tr.Fit.Epochs)
 	snap := tr.Model.Snapshot()
 	snap.Meta["window"] = fmt.Sprint(*window)
+	// Embed the serving artifacts (config, vocab, scalers) so the snapshot
+	// alone is enough for e2vserve to reconstruct a predictor.
+	if err := serve.AttachArtifacts(snap, tr.Model.Config(), tr.Schema, tr.Standardizer, tr.YScale); err != nil {
+		return err
+	}
 	if err := snap.SaveFile(*model); err != nil {
 		return err
 	}

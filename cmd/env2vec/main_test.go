@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the command in the current directory into a temp dir and
+// returns the binary path.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "env2vec")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runCLI(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run %v: %v\n%s", args, err, out)
+		}
+		code = ee.ExitCode()
+	}
+	return string(out), code
+}
+
+func TestCLIUsageAndFlagErrors(t *testing.T) {
+	bin := buildCLI(t)
+
+	out, code := runCLI(t, bin)
+	if code != 2 || !strings.Contains(out, "usage:") {
+		t.Fatalf("no args: code=%d out=%q", code, out)
+	}
+	out, code = runCLI(t, bin, "frobnicate")
+	if code != 2 || !strings.Contains(out, "usage:") {
+		t.Fatalf("unknown subcommand: code=%d out=%q", code, out)
+	}
+	out, code = runCLI(t, bin, "generate")
+	if code != 1 || !strings.Contains(out, "-out is required") {
+		t.Fatalf("generate without -out: code=%d out=%q", code, out)
+	}
+	out, code = runCLI(t, bin, "train")
+	if code != 1 || !strings.Contains(out, "-data is required") {
+		t.Fatalf("train without -data: code=%d out=%q", code, out)
+	}
+	out, code = runCLI(t, bin, "detect", "-data", "x")
+	if code != 1 || !strings.Contains(out, "-exec are required") {
+		t.Fatalf("detect without -exec: code=%d out=%q", code, out)
+	}
+	out, code = runCLI(t, bin, "serve")
+	if code != 1 || !strings.Contains(out, "-model is required") {
+		t.Fatalf("serve without -model: code=%d out=%q", code, out)
+	}
+}
+
+func TestCLIGenerateWritesCorpus(t *testing.T) {
+	bin := buildCLI(t)
+	dir := filepath.Join(t.TempDir(), "corpus")
+	out, code := runCLI(t, bin, "generate", "-out", dir, "-chains", "2", "-steps", "12", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("generate: code=%d out=%q", code, out)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no CSVs written to %s (err=%v)", dir, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil || !strings.Contains(string(data), ",") {
+		t.Fatalf("unreadable CSV %s: %v", matches[0], err)
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTSDBD(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tsdbd")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestTSDBDRequiresSDConfig(t *testing.T) {
+	bin := buildTSDBD(t)
+	out, err := exec.Command(bin).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("no args: err=%v out=%q", err, out)
+	}
+	if !strings.Contains(string(out), "-sd is required") {
+		t.Fatalf("missing flag message: %q", out)
+	}
+}
+
+func TestTSDBDHelpListsFlags(t *testing.T) {
+	bin := buildTSDBD(t)
+	out, _ := exec.Command(bin, "-h").CombinedOutput()
+	for _, flag := range []string{"-sd", "-addr", "-interval"} {
+		if !strings.Contains(string(out), flag) {
+			t.Fatalf("help output missing %s: %q", flag, out)
+		}
+	}
+}

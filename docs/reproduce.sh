@@ -3,5 +3,8 @@
 # On a single commodity core the whole script takes ~45 minutes.
 set -e
 mkdir -p docs/outputs
+go vet ./...
+# The serving path is the one place with real concurrency: prove it race-free.
+go test -race ./internal/serve/ ./internal/modelserver/
 go run ./cmd/kdnbench -seeds 2 | tee docs/outputs/kdnbench.txt
 go run ./cmd/telecombench -slow -csv docs/outputs/figures | tee docs/outputs/telecombench.txt

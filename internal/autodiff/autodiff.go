@@ -40,13 +40,27 @@ type Node struct {
 // Tape records operations in execution order so Backward can replay them in
 // reverse.
 type Tape struct {
-	nodes []*Node
+	nodes     []*Node
+	inference bool
 }
 
 // NewTape returns an empty tape.
 func NewTape() *Tape { return &Tape{} }
 
+// NewInferenceTape returns a forward-only tape: parameters enter the graph
+// as read-only constants, no gradients are allocated, and no backward
+// closures are recorded. Because nothing is written back into shared state,
+// many goroutines may run forward passes over the same parameters
+// concurrently — the property the online prediction service relies on.
+func NewInferenceTape() *Tape { return &Tape{inference: true} }
+
+// Inference reports whether the tape is forward-only.
+func (t *Tape) Inference() bool { return t.inference }
+
 func (t *Tape) newNode(v *tensor.Matrix, requiresGrad bool, back func()) *Node {
+	if t.inference {
+		return &Node{Value: v}
+	}
 	n := &Node{Value: v, requiresGrad: requiresGrad, back: back, id: len(t.nodes)}
 	if requiresGrad {
 		n.Grad = tensor.New(v.Rows, v.Cols)

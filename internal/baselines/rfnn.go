@@ -60,9 +60,10 @@ func (m *RFNN) Loss(t *autodiff.Tape, b *nn.Batch, train bool, rng *rand.Rand) *
 	return t.MSE(m.forward(t, b, train, rng), b.Y)
 }
 
-// Predict implements nn.Model and Predictor.
+// Predict implements nn.Model and Predictor; it runs on an inference tape
+// and is safe for concurrent use.
 func (m *RFNN) Predict(b *nn.Batch) []float64 {
-	t := autodiff.NewTape()
+	t := autodiff.NewInferenceTape()
 	pred := m.forward(t, b, false, nil)
 	out := make([]float64, pred.Value.Rows)
 	copy(out, pred.Value.Data)

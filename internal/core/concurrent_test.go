@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"env2vec/internal/envmeta"
+)
+
+// TestPredictConcurrent exercises the inference-tape path: many goroutines
+// share one model and must all see identical, correct predictions without
+// racing on parameter bindings (run with -race to verify). This is the
+// property the internal/serve worker pool depends on.
+func TestPredictConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	schema := envmeta.NewSchema()
+	batch := twoEnvBatch(rng, schema, 64, 1.5)
+	m := New(smallConfig(), schema)
+
+	want := m.Predict(batch)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 8; iter++ {
+				got := m.Predict(batch)
+				for i := range got {
+					if math.Abs(got[i]-want[i]) > 1e-12 {
+						errs <- "concurrent prediction diverged from serial prediction"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

@@ -213,9 +213,12 @@ func (m *Model) Loss(t *autodiff.Tape, b *nn.Batch, train bool, rng *rand.Rand) 
 	return t.MSE(m.forward(t, b, train, rng), b.Y)
 }
 
-// Predict implements nn.Model.
+// Predict implements nn.Model. The forward pass runs on an inference tape
+// (parameters bound as read-only constants), so one trained model may be
+// shared by any number of concurrently predicting goroutines — the online
+// serving path batches many requests into a single call here.
 func (m *Model) Predict(b *nn.Batch) []float64 {
-	t := autodiff.NewTape()
+	t := autodiff.NewInferenceTape()
 	pred := m.forward(t, b, false, nil)
 	out := make([]float64, pred.Value.Rows)
 	copy(out, pred.Value.Data)

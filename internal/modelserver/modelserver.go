@@ -141,8 +141,17 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/octet-stream")
+		etag := `"` + strconv.Itoa(v.Number) + `"`
+		w.Header().Set("ETag", etag)
 		w.Header().Set("X-Model-Version", strconv.Itoa(v.Number))
+		// Version short-circuit: pollers send the version they already hold
+		// as If-None-Match so an unchanged model costs a header exchange, not
+		// a snapshot download.
+		if r.Header.Get("If-None-Match") == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
 		_, _ = w.Write(v.Data)
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -182,18 +191,38 @@ func (c *Client) Publish(name string, snap *nn.Snapshot) (int, error) {
 
 // FetchLatest downloads the newest snapshot of the named model.
 func (c *Client) FetchLatest(name string) (*nn.Snapshot, int, error) {
-	resp, err := c.httpClient().Get(c.BaseURL + "/models/" + name + "/latest")
+	snap, ver, _, err := c.FetchLatestIfNewer(name, 0)
+	return snap, ver, err
+}
+
+// FetchLatestIfNewer downloads the newest snapshot only when its version
+// differs from have (the version the caller already holds). It returns
+// changed=false with a nil snapshot when the server still serves version
+// have; have=0 always downloads.
+func (c *Client) FetchLatestIfNewer(name string, have int) (snap *nn.Snapshot, ver int, changed bool, err error) {
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/models/"+name+"/latest", nil)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
+	}
+	if have > 0 {
+		req.Header.Set("If-None-Match", `"`+strconv.Itoa(have)+`"`)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, 0, false, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, 0, fmt.Errorf("modelserver: fetch status %d", resp.StatusCode)
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return nil, have, false, nil
+	case http.StatusOK:
+	default:
+		return nil, 0, false, fmt.Errorf("modelserver: fetch status %d", resp.StatusCode)
 	}
-	snap, err := nn.DecodeSnapshot(resp.Body)
+	snap, err = nn.DecodeSnapshot(resp.Body)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
-	ver, _ := strconv.Atoi(resp.Header.Get("X-Model-Version"))
-	return snap, ver, nil
+	ver, _ = strconv.Atoi(resp.Header.Get("X-Model-Version"))
+	return snap, ver, true, nil
 }

@@ -1,0 +1,91 @@
+package modelserver
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"env2vec/internal/nn"
+)
+
+// Watcher polls a model registry for new versions of one model and invokes
+// OnUpdate for each version it has not yet delivered. It is the reload
+// signal of workflow step (5) turned into a long-lived subscription: the
+// serving daemon keeps a Watcher running so retrains published by the
+// training pipeline reach the online predictor without a restart.
+//
+// Polls use the registry's version short-circuit (If-None-Match), so an
+// unchanged model costs only a header exchange.
+type Watcher struct {
+	Client   *Client
+	Name     string
+	Interval time.Duration // polling period; Run defaults to 10s when 0
+	// OnUpdate receives each newly observed snapshot. It is called from the
+	// polling goroutine (or the Poll caller), never concurrently with itself.
+	OnUpdate func(snap *nn.Snapshot, version int)
+	// OnError, when non-nil, receives transient polling errors (registry
+	// unreachable, model not yet published). Run keeps polling afterwards.
+	OnError func(err error)
+
+	mu      sync.Mutex
+	version int
+}
+
+// Version returns the last version delivered to OnUpdate (0 before any).
+func (w *Watcher) Version() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.version
+}
+
+// Poll performs one registry check, invoking OnUpdate when a version newer
+// than the last delivered one is available. It reports whether an update was
+// delivered. A registry with no versions of the model yet is an error (the
+// caller decides whether that is fatal; Run treats it as transient).
+func (w *Watcher) Poll() (bool, error) {
+	if w.Client == nil || w.Name == "" {
+		return false, fmt.Errorf("modelserver: watcher needs a client and a model name")
+	}
+	w.mu.Lock()
+	have := w.version
+	w.mu.Unlock()
+	snap, ver, changed, err := w.Client.FetchLatestIfNewer(w.Name, have)
+	if err != nil {
+		return false, err
+	}
+	if !changed || ver == have {
+		return false, nil
+	}
+	if w.OnUpdate != nil {
+		w.OnUpdate(snap, ver)
+	}
+	w.mu.Lock()
+	w.version = ver
+	w.mu.Unlock()
+	return true, nil
+}
+
+// Run polls until ctx is cancelled, starting with an immediate poll.
+func (w *Watcher) Run(ctx context.Context) {
+	interval := w.Interval
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	poll := func() {
+		if _, err := w.Poll(); err != nil && w.OnError != nil {
+			w.OnError(err)
+		}
+	}
+	poll()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			poll()
+		}
+	}
+}

@@ -48,9 +48,10 @@ func (m *MLP) Loss(t *autodiff.Tape, b *Batch, train bool, rng *rand.Rand) *auto
 	return t.MSE(pred, b.Y)
 }
 
-// Predict implements Model.
+// Predict implements Model. It runs on an inference tape, so it is safe to
+// call concurrently from multiple goroutines.
 func (m *MLP) Predict(b *Batch) []float64 {
-	t := autodiff.NewTape()
+	t := autodiff.NewInferenceTape()
 	pred := m.Forward(t, t.Constant(b.X), false, nil)
 	out := make([]float64, pred.Value.Rows)
 	copy(out, pred.Value.Data)

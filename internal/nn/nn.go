@@ -29,10 +29,17 @@ func NewParam(name string, rows, cols int) *Param {
 }
 
 // Bind registers the parameter on the tape for the current forward pass and
-// returns the graph node to use in layer math.
+// returns the graph node to use in layer math. On an inference tape the
+// parameter enters as a read-only constant and the binding is NOT retained:
+// nothing is written into the Param, so concurrent forward passes over a
+// shared model are safe.
 func (p *Param) Bind(t *autodiff.Tape) *autodiff.Node {
-	p.node = t.Param(p.Value)
-	return p.node
+	n := t.Param(p.Value)
+	if t.Inference() {
+		return n
+	}
+	p.node = n
+	return n
 }
 
 // Grad returns the gradient from the most recent bound backward pass, or

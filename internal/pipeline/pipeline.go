@@ -27,6 +27,7 @@ import (
 	"env2vec/internal/envmeta"
 	"env2vec/internal/modelserver"
 	"env2vec/internal/nn"
+	"env2vec/internal/serve"
 	"env2vec/internal/tensor"
 	"env2vec/internal/tsdb"
 )
@@ -319,6 +320,19 @@ func IncrementalTrain(tr *TrainResult, newSeries []*dataset.Series, epochs int, 
 // PublishModel uploads the trained model to the registry (step 2 → 5).
 func PublishModel(client *modelserver.Client, name string, tr *TrainResult) (int, error) {
 	return client.Publish(name, tr.Model.Snapshot())
+}
+
+// PublishForServing uploads the trained model with the serving artifacts
+// (architecture config, frozen vocabularies, scalers) attached to the
+// snapshot, so the online prediction service can reconstruct a full
+// predictor from the registry alone — the publish half of the
+// publish-then-serve path.
+func PublishForServing(client *modelserver.Client, name string, tr *TrainResult) (int, error) {
+	snap := tr.Model.Snapshot()
+	if err := serve.AttachArtifacts(snap, tr.Model.Config(), tr.Schema, tr.Standardizer, tr.YScale); err != nil {
+		return 0, err
+	}
+	return client.Publish(name, snap)
 }
 
 // FetchModel downloads the latest snapshot into a structurally matching

@@ -1,0 +1,108 @@
+// Package serve is the online prediction service: it turns the trained
+// Env2Vec model — reachable only through batch pipeline runs in the paper's
+// workflow (Fig. 2, steps 3–5) — into a low-latency HTTP daemon. Concurrent
+// per-timestep requests are micro-batched into single forward passes, run on
+// a worker pool, and protected by a bounded queue that sheds load with 429
+// instead of collapsing. Model snapshots hot-reload from the registry via an
+// atomic pointer swap, so a retrain published by the training pipeline
+// reaches serving traffic with zero downtime.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"env2vec/internal/core"
+	"env2vec/internal/dataset"
+	"env2vec/internal/envmeta"
+	"env2vec/internal/nn"
+)
+
+// ArtifactsKey is the snapshot-metadata key under which serving artifacts
+// are stored.
+const ArtifactsKey = "serve.artifacts"
+
+// artifacts is everything beyond the weights needed to reconstruct a
+// serving-ready model from a registry snapshot: the architecture config, the
+// frozen metadata vocabularies, and the input/target scalers.
+type artifacts struct {
+	Config core.Config `json:"config"`
+	Vocab  [][]string  `json:"vocab"` // per-feature values in id order
+	XMean  []float64   `json:"xmean"`
+	XStd   []float64   `json:"xstd"`
+	YMu    float64     `json:"ymu"`
+	YSigma float64     `json:"ysigma"`
+}
+
+// AttachArtifacts embeds the serving artifacts into a snapshot's metadata so
+// the snapshot alone suffices to stand up a predictor. The training pipeline
+// calls this before publishing to the registry.
+func AttachArtifacts(snap *nn.Snapshot, cfg core.Config, schema *envmeta.Schema, std *dataset.Standardizer, ys dataset.YScaler) error {
+	a := artifacts{Config: cfg, Vocab: make([][]string, envmeta.NumFeatures), YMu: ys.Mu, YSigma: ys.Sigma}
+	for k, v := range schema.Vocabs {
+		a.Vocab[k] = v.Values()
+	}
+	if std != nil {
+		a.XMean, a.XStd = std.Mean, std.Std
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		return fmt.Errorf("serve: encode artifacts: %w", err)
+	}
+	if snap.Meta == nil {
+		snap.Meta = make(map[string]string)
+	}
+	snap.Meta[ArtifactsKey] = string(data)
+	return nil
+}
+
+// Bundle is one immutable, serving-ready model version: the restored
+// network plus the preprocessing artifacts it was trained with. Bundles are
+// swapped atomically on reload and never mutated afterwards, which is what
+// makes lock-free concurrent prediction sound.
+type Bundle struct {
+	Name    string
+	Version int
+	Model   *core.Model
+	Schema  *envmeta.Schema
+	Std     *dataset.Standardizer
+	YScale  dataset.YScaler
+}
+
+// BundleFromSnapshot reconstructs a serving bundle from a snapshot that
+// carries artifacts (see AttachArtifacts).
+func BundleFromSnapshot(name string, version int, snap *nn.Snapshot) (*Bundle, error) {
+	raw, ok := snap.Meta[ArtifactsKey]
+	if !ok {
+		return nil, fmt.Errorf("serve: snapshot of %q has no %s metadata; publish with serving artifacts attached", name, ArtifactsKey)
+	}
+	var a artifacts
+	if err := json.Unmarshal([]byte(raw), &a); err != nil {
+		return nil, fmt.Errorf("serve: decode artifacts: %w", err)
+	}
+	if len(a.Vocab) != envmeta.NumFeatures {
+		return nil, fmt.Errorf("serve: artifacts carry %d vocabularies, want %d", len(a.Vocab), envmeta.NumFeatures)
+	}
+	schema := envmeta.NewSchema()
+	for k, values := range a.Vocab {
+		for _, v := range values {
+			schema.Vocabs[k].Add(v)
+		}
+	}
+	schema.Freeze()
+	model := core.New(a.Config, schema)
+	if err := model.Restore(snap); err != nil {
+		return nil, fmt.Errorf("serve: restore weights: %w", err)
+	}
+	b := &Bundle{
+		Name:    name,
+		Version: version,
+		Model:   model,
+		Schema:  schema,
+		YScale:  dataset.YScaler{Mu: a.YMu, Sigma: a.YSigma},
+	}
+	if len(a.XMean) > 0 {
+		b.Std = &dataset.Standardizer{Mean: a.XMean, Std: a.XStd}
+	}
+	return b, nil
+}

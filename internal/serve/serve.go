@@ -1,0 +1,452 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"env2vec/internal/anomaly"
+	"env2vec/internal/envmeta"
+	"env2vec/internal/nn"
+	"env2vec/internal/stats"
+	"env2vec/internal/tensor"
+)
+
+// Config sizes the prediction service.
+type Config struct {
+	// MaxBatch caps how many queued requests one forward pass may combine
+	// (default 32).
+	MaxBatch int
+	// MaxLinger bounds how long an under-full batch waits for company
+	// (default 2ms). With MaxBatch 1 no lingering ever happens.
+	MaxLinger time.Duration
+	// QueueDepth bounds the admission queue; requests arriving with the
+	// queue full are rejected with 429 (default 256).
+	QueueDepth int
+	// Workers is the number of concurrent forward-pass workers
+	// (default GOMAXPROCS).
+	Workers int
+	// Detect enables inline anomaly verdicts for requests that carry the
+	// observed value: the per-chain prediction-error distribution is
+	// maintained online and each error is thresholded at γ·σ plus the
+	// absolute filter, as in §3.2. Nil disables verdicts.
+	Detect *anomaly.Config
+	// MinCalibration is how many error samples a chain needs before
+	// verdicts fire (default 8); until then responses carry no verdict.
+	MinCalibration int
+
+	// stall, when non-nil, blocks every forward pass until the channel is
+	// closed. Tests use it to hold workers busy deterministically.
+	stall chan struct{}
+}
+
+// Request is one per-timestep prediction request.
+type Request struct {
+	CF     []float64 `json:"cf"`     // contextual features, model-In long
+	Window []float64 `json:"window"` // previous RU values, oldest first, model-Window long
+
+	// Environment tuple; unseen values fall back to the learned <unk>
+	// embedding rows (the §4.3 capability).
+	Testbed  string `json:"testbed"`
+	SUT      string `json:"sut"`
+	Testcase string `json:"testcase"`
+	Build    string `json:"build"`
+
+	// Actual, when set, is the observed RU value for this timestep and
+	// requests an inline anomaly verdict against the chain's error model.
+	Actual *float64 `json:"actual,omitempty"`
+	// ChainID keys the online error model; defaults to the environment
+	// tuple rendered as a string.
+	ChainID string `json:"chain_id,omitempty"`
+}
+
+// Response is the service's answer for one request.
+type Response struct {
+	Prediction   float64  `json:"prediction"`
+	Model        string   `json:"model"`
+	ModelVersion int      `json:"model_version"`
+	BatchSize    int      `json:"batch_size"` // size of the forward pass that served this request
+	Anomalous    *bool    `json:"anomalous,omitempty"`
+	Deviation    *float64 `json:"deviation,omitempty"` // |prediction−actual|, with a verdict
+}
+
+// item is one in-flight request inside the batching machinery.
+type item struct {
+	req  *Request
+	enq  time.Time
+	resp *Response
+	code int
+	err  error
+	done chan struct{}
+}
+
+// calibration is an online Gaussian (Welford) over a chain's prediction
+// errors — the serving-time analogue of anomaly.FitErrorModel.
+type calibration struct {
+	n        int
+	mean, m2 float64
+}
+
+func (c *calibration) add(e float64) {
+	c.n++
+	d := e - c.mean
+	c.mean += d / float64(c.n)
+	c.m2 += d * (e - c.mean)
+}
+
+func (c *calibration) sigma() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return math.Sqrt(c.m2 / float64(c.n))
+}
+
+// Server micro-batches concurrent prediction requests into shared forward
+// passes. Create with New, feed it bundles with SetBundle, and shut down
+// with Close (which drains in-flight work).
+type Server struct {
+	cfg     Config
+	bundle  atomic.Pointer[Bundle]
+	queue   chan *item
+	batches chan []*item
+	mux     *http.ServeMux
+	wg      sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed against concurrent enqueues
+	closed bool
+
+	served, rejected, failed, numBatches, reloads atomic.Uint64
+	batchStats                                    batchObserver
+	latencies                                     latencyRing
+
+	calMu sync.Mutex
+	cal   map[string]*calibration
+}
+
+// New starts the batching and worker goroutines and returns a server with
+// no model loaded yet (healthz reports 503 until SetBundle).
+func New(cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.MaxLinger <= 0 {
+		cfg.MaxLinger = 2 * time.Millisecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MinCalibration <= 0 {
+		cfg.MinCalibration = 8
+	}
+	if cfg.Detect != nil && cfg.Detect.Gamma <= 0 {
+		panic(fmt.Sprintf("serve: detection gamma must be positive, got %v", cfg.Detect.Gamma))
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *item, cfg.QueueDepth),
+		batches: make(chan []*item),
+		cal:     make(map[string]*calibration),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statz", s.handleStatz)
+	s.wg.Add(1 + cfg.Workers)
+	go s.batcher()
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// SetBundle atomically swaps in a new model version; in-flight batches keep
+// the bundle they loaded, new batches see the new one. Zero downtime.
+func (s *Server) SetBundle(b *Bundle) {
+	if b == nil {
+		panic("serve: SetBundle(nil)")
+	}
+	if old := s.bundle.Swap(b); old != nil {
+		s.reloads.Add(1)
+	}
+}
+
+// Bundle returns the currently served model bundle (nil before the first
+// SetBundle).
+func (s *Server) Bundle() *Bundle { return s.bundle.Load() }
+
+// Close stops admission, drains every queued request through the workers,
+// and waits for them to finish. Safe to call once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Errors distinguishing Do outcomes; the HTTP handler maps them to codes.
+var (
+	ErrOverloaded = errors.New("serve: queue full")
+	ErrNoModel    = errors.New("serve: no model loaded")
+	ErrClosed     = errors.New("serve: server shutting down")
+)
+
+// Do submits one request and blocks until a worker has served it (or it was
+// rejected). It returns the response and an HTTP-shaped status code; this is
+// also the non-HTTP entry point the benchmarks drive.
+func (s *Server) Do(req *Request) (*Response, int, error) {
+	b := s.bundle.Load()
+	if b == nil {
+		return nil, http.StatusServiceUnavailable, ErrNoModel
+	}
+	if err := validate(req, b); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	it := &item{req: req, enq: time.Now(), done: make(chan struct{})}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, http.StatusServiceUnavailable, ErrClosed
+	}
+	select {
+	case s.queue <- it:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.rejected.Add(1)
+		return nil, http.StatusTooManyRequests, ErrOverloaded
+	}
+	<-it.done
+	return it.resp, it.code, it.err
+}
+
+func validate(req *Request, b *Bundle) error {
+	cfg := b.Model.Config()
+	if len(req.CF) != cfg.In {
+		return fmt.Errorf("serve: request has %d contextual features, model %s/v%d wants %d", len(req.CF), b.Name, b.Version, cfg.In)
+	}
+	if len(req.Window) != cfg.Window {
+		return fmt.Errorf("serve: request has window %d, model %s/v%d wants %d", len(req.Window), b.Name, b.Version, cfg.Window)
+	}
+	return nil
+}
+
+// batcher assembles queued items into batches: a batch closes when it
+// reaches MaxBatch or when MaxLinger elapses after its first item.
+func (s *Server) batcher() {
+	defer s.wg.Done()
+	defer close(s.batches)
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := []*item{first}
+		timer := time.NewTimer(s.cfg.MaxLinger)
+	collect:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case it, ok := <-s.queue:
+				if !ok {
+					break collect // drained; flush what we have, exit next loop
+				}
+				batch = append(batch, it)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		s.batches <- batch
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for batch := range s.batches {
+		s.runBatch(batch)
+	}
+}
+
+// runBatch executes one shared forward pass for a batch of requests.
+func (s *Server) runBatch(items []*item) {
+	finish := func(it *item, resp *Response, code int, err error) {
+		it.resp, it.code, it.err = resp, code, err
+		if err != nil {
+			s.failed.Add(1)
+		} else {
+			s.served.Add(1)
+			s.latencies.record(time.Since(it.enq))
+		}
+		close(it.done)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("serve: forward pass panicked: %v", r)
+			for _, it := range items {
+				if it.done != nil && !done(it) {
+					finish(it, nil, http.StatusInternalServerError, err)
+				}
+			}
+		}
+	}()
+	if s.cfg.stall != nil {
+		<-s.cfg.stall
+	}
+
+	b := s.bundle.Load()
+	if b == nil {
+		for _, it := range items {
+			finish(it, nil, http.StatusServiceUnavailable, ErrNoModel)
+		}
+		return
+	}
+	// Revalidate against the loaded bundle: a hot reload between admission
+	// and execution could (in principle) change the model's shape.
+	valid := items[:0:0]
+	for _, it := range items {
+		if err := validate(it.req, b); err != nil {
+			finish(it, nil, http.StatusBadRequest, err)
+			continue
+		}
+		valid = append(valid, it)
+	}
+	if len(valid) == 0 {
+		return
+	}
+
+	cfg := b.Model.Config()
+	n := len(valid)
+	batch := &nn.Batch{
+		X:      tensor.New(n, cfg.In),
+		Window: tensor.New(n, cfg.Window),
+		Y:      tensor.New(n, 1),
+		EnvIDs: make([][]int, envmeta.NumFeatures),
+	}
+	for k := range batch.EnvIDs {
+		batch.EnvIDs[k] = make([]int, n)
+	}
+	for i, it := range valid {
+		copy(batch.X.Row(i), it.req.CF)
+		copy(batch.Window.Row(i), it.req.Window)
+		ids := b.Schema.Encode(envmeta.Environment{
+			Testbed: it.req.Testbed, SUT: it.req.SUT,
+			Testcase: it.req.Testcase, Build: it.req.Build,
+		})
+		for k := range batch.EnvIDs {
+			batch.EnvIDs[k][i] = ids[k]
+		}
+	}
+	if b.Std != nil {
+		b.Std.Apply(batch.X)
+	}
+	preds := b.YScale.Unscale(b.Model.Predict(b.YScale.Scale(batch)))
+
+	s.numBatches.Add(1)
+	s.batchStats.observe(n)
+	for i, it := range valid {
+		resp := &Response{
+			Prediction:   preds[i],
+			Model:        b.Name,
+			ModelVersion: b.Version,
+			BatchSize:    n,
+		}
+		if s.cfg.Detect != nil && it.req.Actual != nil {
+			s.scoreAnomaly(it.req, preds[i], resp)
+		}
+		finish(it, resp, http.StatusOK, nil)
+	}
+}
+
+func done(it *item) bool {
+	select {
+	case <-it.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// scoreAnomaly thresholds the prediction error against the chain's online
+// error model. Flagged errors are NOT folded back into the calibration, so
+// a sustained problem cannot drag the baseline toward itself.
+func (s *Server) scoreAnomaly(req *Request, pred float64, resp *Response) {
+	key := req.ChainID
+	if key == "" {
+		key = envmeta.Environment{Testbed: req.Testbed, SUT: req.SUT, Testcase: req.Testcase, Build: req.Build}.String()
+	}
+	e := pred - *req.Actual
+	s.calMu.Lock()
+	defer s.calMu.Unlock()
+	c := s.cal[key]
+	if c == nil {
+		c = &calibration{}
+		s.cal[key] = c
+	}
+	if c.n < s.cfg.MinCalibration {
+		c.add(e) // still calibrating; no verdict yet
+		return
+	}
+	em := anomaly.ErrorModel{Dist: stats.Gaussian{Mu: c.mean, Sigma: c.sigma()}, Samples: c.n}
+	flagged := anomaly.Flag([]float64{pred}, []float64{*req.Actual}, em, *s.cfg.Detect)[0]
+	dev := math.Abs(e)
+	resp.Anomalous = &flagged
+	resp.Deviation = &dev
+	if !flagged {
+		c.add(e)
+	}
+}
+
+// ── HTTP surface ────────────────────────────────────────────────────────
+
+// ServeHTTP implements http.Handler: POST /predict, GET /healthz, GET /statz.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "invalid request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, code, err := s.Do(&req)
+	if err != nil {
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.bundle.Load() == nil {
+		http.Error(w, "no model loaded", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Stats())
+}
