@@ -11,7 +11,10 @@
 //	e2vserve -registry http://HOST:8080 [-name env2vec] [-poll 10s]
 //	    Pull the latest published version and keep polling for updates.
 //
-// Endpoints: POST /predict, GET /healthz, GET /statz.
+// Endpoints: POST /predict, GET /healthz, GET /statz, GET /metrics
+// (Prometheus text format), and — with -pprof — GET /debug/pprof/.
+// Diagnostics go to stderr as structured (slog) records; see
+// docs/observability.md for metric names and trace fields.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"env2vec/internal/anomaly"
 	"env2vec/internal/modelserver"
 	"env2vec/internal/nn"
+	"env2vec/internal/obs"
 	"env2vec/internal/serve"
 )
 
@@ -52,17 +56,28 @@ func run(args []string) error {
 	gamma := fs.Float64("gamma", 0, "enable inline anomaly verdicts with this γ threshold (0 disables)")
 	absFilter := fs.Float64("abs-filter", 5, "absolute deviation filter for verdicts (0 disables)")
 	minCal := fs.Int("min-cal", 8, "observations per chain before verdicts are emitted")
+	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ handlers")
 	_ = fs.Parse(args)
 	if (*registry == "") == (*model == "") {
 		return errors.New("exactly one of -registry or -model is required")
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, level, "e2vserve")
 
+	reg := obs.NewRegistry()
 	cfg := serve.Config{
 		MaxBatch:       *maxBatch,
 		MaxLinger:      *linger,
 		QueueDepth:     *queue,
 		Workers:        *workers,
 		MinCalibration: *minCal,
+		Obs:            reg,
+		Logger:         obs.NewLogger(os.Stderr, level, "serve"),
+		EnablePprof:    *pprofOn,
 	}
 	if *gamma > 0 {
 		cfg.Detect = &anomaly.Config{Gamma: *gamma, AbsFilter: *absFilter}
@@ -82,33 +97,34 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w (was it written by `env2vec train`?)", *model, err)
 		}
 		srv.SetBundle(b)
-		fmt.Printf("loaded %s from %s\n", *name, *model)
+		logger.Info("serving local snapshot", "model", *name, "file", *model)
 	} else {
-		watcher := &modelserver.Watcher{
+		watcherLog := obs.NewLogger(os.Stderr, level, "watcher")
+		watcher := (&modelserver.Watcher{
 			Client:   &modelserver.Client{BaseURL: *registry},
 			Name:     *name,
 			Interval: *poll,
 			OnUpdate: func(snap *nn.Snapshot, ver int) {
 				b, err := serve.BundleFromSnapshot(*name, ver, snap)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "e2vserve: rejecting %s v%d: %v\n", *name, ver, err)
+					watcherLog.Error("rejecting published version", "model", *name, "version", ver, "err", err)
 					return
 				}
 				srv.SetBundle(b)
-				fmt.Printf("serving %s v%d\n", *name, ver)
 			},
 			OnError: func(err error) {
-				fmt.Fprintf(os.Stderr, "e2vserve: registry poll: %v\n", err)
+				watcherLog.Warn("registry poll failed", "registry", *registry, "model", *name, "err", err)
 			},
-		}
+		}).Instrument(reg)
 		go watcher.Run(ctx)
-		fmt.Printf("polling %s for %s every %s\n", *registry, *name, *poll)
+		logger.Info("polling registry", "registry", *registry, "model", *name, "interval", *poll)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("listening on %s (POST /predict, GET /healthz, GET /statz)\n", *addr)
+		logger.Info("listening", "addr", *addr,
+			"endpoints", "POST /predict, GET /healthz, GET /statz, GET /metrics", "pprof", *pprofOn)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -125,6 +141,6 @@ func run(args []string) error {
 		return err
 	}
 	srv.Close()
-	fmt.Println("drained; bye")
+	logger.Info("drained; bye")
 	return nil
 }

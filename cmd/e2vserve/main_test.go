@@ -1,11 +1,48 @@
 package main
 
 import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
+
+// freePort reserves an ephemeral port and releases it for the daemon.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// scrape polls url until the daemon answers, returning the body.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				return string(body)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scraping %s never succeeded (last err %v)", url, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
 
 func buildServe(t *testing.T) string {
 	t.Helper()
@@ -40,5 +77,36 @@ func TestServeRejectsMissingSnapshot(t *testing.T) {
 	ee, ok := err.(*exec.ExitError)
 	if !ok || ee.ExitCode() != 1 {
 		t.Fatalf("missing snapshot: err=%v out=%q", err, out)
+	}
+}
+
+// TestServeMetricsScrape is the end-to-end acceptance check: a freshly
+// booted daemon (no model yet — the registry is unreachable) serves a
+// Prometheus /metrics page carrying the serve instrumentation.
+func TestServeMetricsScrape(t *testing.T) {
+	bin := buildServe(t)
+	port := freePort(t)
+	cmd := exec.Command(bin,
+		"-registry", "http://127.0.0.1:1", // nothing listens; polls fail transiently
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-poll", "100ms", "-log-level", "error")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+
+	body := scrape(t, fmt.Sprintf("http://127.0.0.1:%d/metrics", port))
+	for _, want := range []string{
+		"# TYPE env2vec_serve_requests_total counter",
+		"env2vec_serve_queue_capacity 256",
+		`env2vec_serve_stage_latency_ms_bucket{stage="forward"`,
+		"modelserver_watcher_polls_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics page missing %q:\n%s", want, body)
+		}
 	}
 }

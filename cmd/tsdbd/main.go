@@ -3,9 +3,14 @@
 // service-discovery config (workflow step 1) and serves range queries over
 // HTTP (workflow step 3).
 //
+// Its own /metrics endpoint leads with the daemon's self-telemetry
+// (scrape/error counters, stored-series gauge) followed by the federation
+// dump of every stored series. Scrape failures, previously silent, are
+// logged as structured (slog) records. -pprof mounts /debug/pprof/.
+//
 // Usage:
 //
-//	tsdbd -sd sd.json [-addr :9090] [-interval 15s]
+//	tsdbd -sd sd.json [-addr :9090] [-interval 15s] [-log-level info] [-pprof]
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os/signal"
 	"time"
 
+	"env2vec/internal/obs"
 	"env2vec/internal/tsdb"
 )
 
@@ -24,30 +30,58 @@ func main() {
 	sd := flag.String("sd", "", "service-discovery JSON file (required)")
 	addr := flag.String("addr", ":9090", "listen address")
 	interval := flag.Duration("interval", 15*time.Second, "scrape interval")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ handlers")
 	flag.Parse()
 	if *sd == "" {
 		fmt.Fprintln(os.Stderr, "tsdbd: -sd is required")
 		os.Exit(2)
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsdbd:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level, "tsdbd")
+
 	db := tsdb.New()
 	scraper := tsdb.NewScraper(db, *sd, *interval)
+	scraper.Logger = obs.NewLogger(os.Stderr, level, "scraper")
+
+	reg := obs.NewRegistry()
+	reg.CounterFunc("tsdb_scrapes_total", "Target scrapes attempted.", nil, func() uint64 {
+		scrapes, _ := scraper.Stats()
+		return uint64(scrapes)
+	})
+	reg.CounterFunc("tsdb_scrape_errors_total", "Target scrapes that failed.", nil, func() uint64 {
+		_, errs := scraper.Stats()
+		return uint64(errs)
+	})
+	reg.GaugeFunc("tsdb_stored_series", "Distinct series currently stored.", nil, func() float64 {
+		return float64(db.NumSeries())
+	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	go scraper.Run(ctx)
 
-	srv := &http.Server{Addr: *addr, Handler: &tsdb.Handler{DB: db}}
+	mux := http.NewServeMux()
+	mux.Handle("/", &tsdb.Handler{DB: db, SelfMetrics: reg})
+	if *pprofOn {
+		obs.RegisterPprof(mux)
+	}
+	srv := &http.Server{Addr: *addr, Handler: mux}
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
 	}()
-	fmt.Printf("tsdbd listening on %s, scraping %s every %s\n", *addr, *sd, *interval)
+	logger.Info("listening", "addr", *addr, "sd", *sd, "interval", *interval, "pprof", *pprofOn)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintln(os.Stderr, "tsdbd:", err)
+		logger.Error("listen failed", "err", err)
 		os.Exit(1)
 	}
 	scrapes, errs := scraper.Stats()
-	fmt.Printf("tsdbd stopped after %d scrapes (%d errors), %d series stored\n", scrapes, errs, db.NumSeries())
+	logger.Info("stopped", "scrapes", scrapes, "scrape_errors", errs, "series", db.NumSeries())
 }

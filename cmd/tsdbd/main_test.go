@@ -1,10 +1,16 @@
 package main
 
 import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func buildTSDBD(t *testing.T) string {
@@ -35,6 +41,58 @@ func TestTSDBDHelpListsFlags(t *testing.T) {
 	for _, flag := range []string{"-sd", "-addr", "-interval"} {
 		if !strings.Contains(string(out), flag) {
 			t.Fatalf("help output missing %s: %q", flag, out)
+		}
+	}
+}
+
+// TestTSDBDMetricsScrape boots the daemon against an empty discovery file
+// and checks /metrics leads with the daemon's own telemetry.
+func TestTSDBDMetricsScrape(t *testing.T) {
+	bin := buildTSDBD(t)
+	sd := filepath.Join(t.TempDir(), "sd.json")
+	if err := os.WriteFile(sd, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	cmd := exec.Command(bin, "-sd", sd, "-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-interval", "50ms", "-log-level", "error")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var body string
+	for {
+		resp, err := http.Get(fmt.Sprintf("http://127.0.0.1:%d/metrics", port))
+		if err == nil {
+			b, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				body = string(b)
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tsdbd /metrics never answered (last err %v)", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, want := range []string{
+		"# TYPE tsdb_scrapes_total counter",
+		"# TYPE tsdb_scrape_errors_total counter",
+		"# TYPE tsdb_stored_series gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics page missing %q:\n%s", want, body)
 		}
 	}
 }

@@ -3,8 +3,16 @@
 # On a single commodity core the whole script takes ~45 minutes.
 set -e
 mkdir -p docs/outputs
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
 go vet ./...
 # The serving path is the one place with real concurrency: prove it race-free.
-go test -race ./internal/serve/ ./internal/modelserver/
+go test -race ./internal/obs/ ./internal/serve/ ./internal/modelserver/
+# Smoke-test the /metrics surface end to end: boot each daemon, scrape it.
+go test -run 'MetricsScrape' ./cmd/e2vserve/ ./cmd/tsdbd/
 go run ./cmd/kdnbench -seeds 2 | tee docs/outputs/kdnbench.txt
 go run ./cmd/telecombench -slow -csv docs/outputs/figures | tee docs/outputs/telecombench.txt

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"env2vec/internal/nn"
+	"env2vec/internal/obs"
 )
 
 // Version is one published model snapshot.
@@ -91,6 +92,20 @@ func (r *Registry) Names() []string {
 type Handler struct {
 	Registry *Registry
 	Now      func() int64
+
+	m struct {
+		publishes, fetches, notModified *obs.Counter // nil (no-op) unless Instrument was called
+	}
+}
+
+// Instrument registers the handler's counters in reg and returns the
+// handler for chaining: publishes, full snapshot downloads, and 304
+// short-circuits (the cheap path the ETag protocol exists for).
+func (h *Handler) Instrument(reg *obs.Registry) *Handler {
+	h.m.publishes = reg.Counter("modelserver_publishes_total", "Snapshot versions published.", nil)
+	h.m.fetches = reg.Counter("modelserver_fetches_total", "Full snapshot downloads served.", nil)
+	h.m.notModified = reg.Counter("modelserver_not_modified_total", "Fetches short-circuited with 304 via ETag.", nil)
+	return h
 }
 
 // ServeHTTP implements http.Handler.
@@ -122,6 +137,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		h.m.publishes.Inc()
 		w.WriteHeader(http.StatusCreated)
 		fmt.Fprintf(w, "%d", n)
 	case r.Method == http.MethodGet && len(parts) == 3:
@@ -148,9 +164,11 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// as If-None-Match so an unchanged model costs a header exchange, not
 		// a snapshot download.
 		if r.Header.Get("If-None-Match") == etag {
+			h.m.notModified.Inc()
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
+		h.m.fetches.Inc()
 		w.Header().Set("Content-Type", "application/octet-stream")
 		_, _ = w.Write(v.Data)
 	default:

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"env2vec/internal/nn"
+	"env2vec/internal/obs"
 )
 
 // Watcher polls a model registry for new versions of one model and invokes
@@ -30,6 +31,23 @@ type Watcher struct {
 
 	mu      sync.Mutex
 	version int
+
+	m struct {
+		polls, reloads, notModified, errors *obs.Counter // nil (no-op) unless Instrument was called
+	}
+}
+
+// Instrument registers the watcher's counters in reg and returns the
+// watcher for chaining: polls, reloads delivered, 304-style unchanged
+// polls, and transient errors. On the serving daemon these share the
+// /metrics page with the serve metrics, so one scrape shows both halves of
+// the publish-then-serve loop.
+func (w *Watcher) Instrument(reg *obs.Registry) *Watcher {
+	w.m.polls = reg.Counter("modelserver_watcher_polls_total", "Registry polls attempted.", nil)
+	w.m.reloads = reg.Counter("modelserver_watcher_reloads_total", "New versions delivered to OnUpdate.", nil)
+	w.m.notModified = reg.Counter("modelserver_watcher_not_modified_total", "Polls answered unchanged (ETag 304 path).", nil)
+	w.m.errors = reg.Counter("modelserver_watcher_errors_total", "Polls that failed transiently.", nil)
+	return w
 }
 
 // Version returns the last version delivered to OnUpdate (0 before any).
@@ -50,11 +68,14 @@ func (w *Watcher) Poll() (bool, error) {
 	w.mu.Lock()
 	have := w.version
 	w.mu.Unlock()
+	w.m.polls.Inc()
 	snap, ver, changed, err := w.Client.FetchLatestIfNewer(w.Name, have)
 	if err != nil {
+		w.m.errors.Inc()
 		return false, err
 	}
 	if !changed || ver == have {
+		w.m.notModified.Inc()
 		return false, nil
 	}
 	if w.OnUpdate != nil {
@@ -63,6 +84,7 @@ func (w *Watcher) Poll() (bool, error) {
 	w.mu.Lock()
 	w.version = ver
 	w.mu.Unlock()
+	w.m.reloads.Inc()
 	return true, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"env2vec/internal/autodiff"
 	"env2vec/internal/tensor"
@@ -66,6 +67,12 @@ type TrainConfig struct {
 	// optimizer implements LRScalable (1 or 0 disables). Exponential decay
 	// helps the multiplicative Env2Vec head settle after its fast start.
 	LRDecay float64
+	// OnEpoch, when non-nil, observes each completed epoch: the 1-based
+	// epoch number, mean training loss, validation loss (NaN without a
+	// validation set), and the epoch's wall-clock duration including
+	// validation. The training pipeline uses it to drive loss-curve gauges
+	// and epoch-timing histograms.
+	OnEpoch func(epoch int, trainLoss, valLoss float64, d time.Duration)
 }
 
 // DefaultTrainConfig mirrors the paper's training regime: Adam, early
@@ -106,6 +113,7 @@ func Train(m Model, opt Optimizer, train, val *Batch, cfg TrainConfig) TrainResu
 	res := TrainResult{BestValLoss: math.Inf(1), FinalValLoss: math.Inf(1)}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		epochLoss, steps := 0.0, 0
 		for start := 0; start < n; start += cfg.BatchSize {
@@ -130,10 +138,16 @@ func Train(m Model, opt Optimizer, train, val *Batch, cfg TrainConfig) TrainResu
 		}
 
 		if val == nil || val.Len() == 0 {
+			if cfg.OnEpoch != nil {
+				cfg.OnEpoch(epoch+1, res.TrainLossLast, math.NaN(), time.Since(epochStart))
+			}
 			continue
 		}
 		vl := EvalMSE(m, val)
 		res.FinalValLoss = vl
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch+1, res.TrainLossLast, vl, time.Since(epochStart))
+		}
 		if cfg.Verbose {
 			fmt.Printf("epoch %3d train=%.5f val=%.5f\n", epoch, res.TrainLossLast, vl)
 		}

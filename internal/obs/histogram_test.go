@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketsSumCountMax(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-556.5) > 1e-9 {
+		t.Fatalf("sum %v, want 556.5", h.Sum())
+	}
+	if h.Max() != 500 {
+		t.Fatalf("max %v, want 500", h.Max())
+	}
+	bounds, counts := h.Snapshot()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("snapshot shape: %v %v", bounds, counts)
+	}
+	// 0.5 and 1 land in le=1; 5 in le=10; 50 in le=100; 500 overflows.
+	want := []uint64{2, 1, 1, 1}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d: %d, want %d (counts %v)", i, c, want[i], counts)
+		}
+	}
+}
+
+// TestHistogramRingWrapAround replaces the old latencyRing coverage: after
+// more than ringSize samples, percentiles must reflect only the most recent
+// window, not the evicted prefix.
+func TestHistogramRingWrapAround(t *testing.T) {
+	h := NewHistogram(DefLatencyBuckets)
+	// Fill the ring entirely with large values, then overwrite every slot
+	// with small ones; the large prefix must be fully evicted.
+	for i := 0; i < ringSize; i++ {
+		h.Observe(1000)
+	}
+	if p99 := h.Quantile(0.99); p99 != 1000 {
+		t.Fatalf("pre-wrap p99 %v, want 1000", p99)
+	}
+	for i := 0; i < ringSize; i++ {
+		h.Observe(1)
+	}
+	if p99 := h.Quantile(0.99); p99 != 1 {
+		t.Fatalf("post-wrap p99 %v, want 1 (old samples not evicted)", p99)
+	}
+	if h.Count() != 2*ringSize {
+		t.Fatalf("count %d, want %d (buckets must NOT wrap)", h.Count(), 2*ringSize)
+	}
+	// Bucket counts keep full history even though the ring forgot it.
+	_, counts := h.Snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 2*ringSize {
+		t.Fatalf("bucket total %d, want %d", total, 2*ringSize)
+	}
+}
+
+// TestHistogramConcurrentRecordAndQuantile races writers against readers;
+// run under -race (docs/reproduce.sh does) to prove the locking.
+func TestHistogramConcurrentRecordAndQuantile(t *testing.T) {
+	h := NewHistogram(DefLatencyBuckets)
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 1000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(w*perWriter+i) / 100)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			if h.Count() != writers*perWriter {
+				t.Fatalf("count %d, want %d", h.Count(), writers*perWriter)
+			}
+			return
+		default:
+			_ = h.Quantile(0.99)
+			_ = h.Quantiles(0.5, 0.99)
+			_ = h.Max()
+		}
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram should read as empty")
+	}
+}

@@ -1,0 +1,284 @@
+// Package obs is the dependency-free observability layer shared by the
+// Env2Vec daemons and libraries: a metrics registry (counters, gauges,
+// fixed-bucket histograms) rendered in the Prometheus text exposition
+// format, request-ID tracing helpers, structured logging built on
+// log/slog, and optional pprof mounting.
+//
+// Every constructor and metric method is nil-safe: instrumented code can
+// hold nil metrics (from a nil *Registry) and record into them freely, so
+// libraries never branch on "is observability enabled".
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels is a constant label set attached to a metric at creation time.
+type Labels map[string]string
+
+func (l Labels) fingerprint() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(l[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// render formats the label set as {k="v",...}, with extra pairs appended
+// (used for histogram le bounds). Returns "" for an empty set.
+func (l Labels) render(extra ...string) string {
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var pairs []string
+	for _, k := range keys {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", k, l[k]))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", extra[i], extra[i+1]))
+	}
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// metric is one series within a family; write renders its sample lines.
+type metric interface {
+	write(w io.Writer, name string, lbls Labels) error
+}
+
+// family groups every metric registered under one name.
+type family struct {
+	name, help, typ string
+	order           []string // fingerprints, registration order
+	metrics         map[string]metric
+	labels          map[string]Labels
+}
+
+// Registry holds named metrics and renders them as Prometheus text
+// exposition. The zero value is not usable; call NewRegistry. A nil
+// *Registry is valid and hands out nil (no-op) metrics.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register returns the existing metric for (name, labels) or stores the one
+// produced by mk. Registering the same name with a different type panics.
+func (r *Registry) register(name, help, typ string, lbls Labels, mk func() metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ,
+			metrics: make(map[string]metric), labels: make(map[string]Labels)}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	fp := lbls.fingerprint()
+	if m, ok := f.metrics[fp]; ok {
+		return m
+	}
+	m := mk()
+	f.metrics[fp] = m
+	f.labels[fp] = lbls
+	f.order = append(f.order, fp)
+	return m
+}
+
+// Counter is a monotonically increasing uint64 metric. Nil-safe.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) write(w io.Writer, name string, lbls Labels) error {
+	_, err := fmt.Fprintf(w, "%s%s %d\n", name, lbls.render(), c.Value())
+	return err
+}
+
+// Counter registers (or fetches) a counter. Nil registries return nil.
+func (r *Registry) Counter(name, help string, lbls Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, "counter", lbls, func() metric { return &Counter{} }).(*Counter)
+}
+
+// counterFunc renders a callback's value as a counter.
+type counterFunc func() uint64
+
+func (f counterFunc) write(w io.Writer, name string, lbls Labels) error {
+	_, err := fmt.Fprintf(w, "%s%s %d\n", name, lbls.render(), f())
+	return err
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for counters whose source of truth lives elsewhere.
+func (r *Registry) CounterFunc(name, help string, lbls Labels, fn func() uint64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.register(name, help, "counter", lbls, func() metric { return counterFunc(fn) })
+}
+
+// Gauge is a float64 metric that can go up and down. Nil-safe.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(floatBits(v))
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return floatFromBits(g.bits.Load())
+}
+
+func (g *Gauge) write(w io.Writer, name string, lbls Labels) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, lbls.render(), formatFloat(g.Value()))
+	return err
+}
+
+// Gauge registers (or fetches) a gauge. Nil registries return nil.
+func (r *Registry) Gauge(name, help string, lbls Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, "gauge", lbls, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// gaugeFunc renders a callback's value as a gauge at scrape time.
+type gaugeFunc func() float64
+
+func (f gaugeFunc) write(w io.Writer, name string, lbls Labels) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, lbls.render(), formatFloat(f()))
+	return err
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time —
+// for instantaneous values like queue depth.
+func (r *Registry) GaugeFunc(name, help string, lbls Labels, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.register(name, help, "gauge", lbls, func() metric { return gaugeFunc(fn) })
+}
+
+// Histogram registers (or fetches) a histogram with the given ascending
+// bucket upper bounds (+Inf is implicit). Nil registries return nil.
+func (r *Registry) Histogram(name, help string, bounds []float64, lbls Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, "histogram", lbls, func() metric { return newHistogram(bounds) }).(*Histogram)
+}
+
+// WriteTo renders every registered metric in Prometheus text exposition
+// format, families sorted by name. Implements io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	cw := &countingWriter{w: w}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(cw, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return cw.n, err
+			}
+		}
+		if _, err := fmt.Fprintf(cw, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return cw.n, err
+		}
+		for _, fp := range f.order {
+			if err := f.metrics[fp].write(cw, f.name, f.labels[fp]); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, nil
+}
+
+// ServeHTTP serves the registry as a /metrics endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = r.WriteTo(w)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total", "Requests.", Labels{"outcome": "ok"}).Add(3)
+	reg.Counter("requests_total", "Requests.", Labels{"outcome": "err"}).Inc()
+	reg.Gauge("depth", "Queue depth.", nil).Set(7.5)
+	reg.GaugeFunc("dynamic", "Scrape-time value.", nil, func() float64 { return 42 })
+	reg.CounterFunc("ticks_total", "Callback counter.", nil, func() uint64 { return 9 })
+	h := reg.Histogram("lat_ms", "Latency.", []float64{1, 10}, Labels{"stage": "fwd"})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		`requests_total{outcome="ok"} 3`,
+		`requests_total{outcome="err"} 1`,
+		"# TYPE depth gauge",
+		"depth 7.5",
+		"dynamic 42",
+		"ticks_total 9",
+		"# TYPE lat_ms histogram",
+		`lat_ms_bucket{stage="fwd",le="1"} 1`,
+		`lat_ms_bucket{stage="fwd",le="10"} 2`,
+		`lat_ms_bucket{stage="fwd",le="+Inf"} 3`,
+		`lat_ms_sum{stage="fwd"} 55.5`,
+		`lat_ms_count{stage="fwd"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryIdempotentAndTypeConflicts(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("c", "h", nil)
+	b := reg.Counter("c", "h", nil)
+	if a != b {
+		t.Fatal("re-registration should return the existing counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("aliased counters diverged")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as two types should panic")
+		}
+	}()
+	reg.Gauge("c", "h", nil)
+}
+
+func TestNilRegistryHandsOutWorkingNoops(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x", "h", nil)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil-registry counter should discard")
+	}
+	g := reg.Gauge("y", "h", nil)
+	g.Set(5)
+	if g.Value() != 0 {
+		t.Fatal("nil-registry gauge should discard")
+	}
+	reg.Histogram("z", "h", nil, nil).Observe(1)
+	reg.GaugeFunc("f", "h", nil, func() float64 { return 1 })
+	if n, err := reg.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Fatal("nil registry should render nothing")
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("id %q: want 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, ok := range map[string]bool{"debug": true, "INFO": true, "warn": true, "error": true, "": true, "loud": false} {
+		if _, err := ParseLevel(in); (err == nil) != ok {
+			t.Fatalf("ParseLevel(%q) err=%v", in, err)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterPprof mounts the net/http/pprof handlers under /debug/pprof/ on
+// an explicit mux (importing net/http/pprof for side effects would touch
+// only the DefaultServeMux, which the daemons do not use). Gated behind a
+// -pprof flag in the daemons because the profiles expose internals.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

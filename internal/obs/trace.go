@@ -1,0 +1,33 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader is the HTTP header carrying a request's trace id; inbound
+// values are honoured, and every response echoes the id it served under.
+const RequestIDHeader = "X-Request-ID"
+
+// fallbackSeq disambiguates ids if the system entropy source ever fails.
+var fallbackSeq atomic.Uint64
+
+// NewRequestID returns a 16-hex-character random request id.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable on Linux; degrade to
+		// a unique-but-guessable id rather than failing the request.
+		n := fallbackSeq.Add(1)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// MS converts a duration to float64 milliseconds, the unit every latency
+// metric in this codebase uses.
+func MS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

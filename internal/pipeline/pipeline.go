@@ -16,10 +16,13 @@ package pipeline
 
 import (
 	"fmt"
+	"log/slog"
+	"math"
 	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"env2vec/internal/anomaly"
 	"env2vec/internal/core"
@@ -27,6 +30,7 @@ import (
 	"env2vec/internal/envmeta"
 	"env2vec/internal/modelserver"
 	"env2vec/internal/nn"
+	"env2vec/internal/obs"
 	"env2vec/internal/serve"
 	"env2vec/internal/tensor"
 	"env2vec/internal/tsdb"
@@ -171,6 +175,12 @@ type TrainerConfig struct {
 	LR    float64
 	// ValFraction of the pooled examples is held out for early stopping.
 	ValFraction float64
+	// Obs, when non-nil, receives training telemetry: per-epoch timing
+	// histograms and loss-curve gauges, so one scrape of the trainer shows
+	// where the publish half of the publish-then-serve loop stands.
+	Obs *obs.Registry
+	// Logger, when non-nil, receives per-epoch progress records.
+	Logger *slog.Logger
 }
 
 // DefaultTrainerConfig returns a workable configuration for featureDim
@@ -232,11 +242,40 @@ func Train(ds *dataset.Dataset, exclude map[*dataset.Series]bool, cfg TrainerCon
 	if split.Val.Len() > 0 {
 		val = ys.Scale(split.Val)
 	}
+	cfg.Train.OnEpoch = instrumentEpochs(cfg.Obs, cfg.Logger, cfg.Train.OnEpoch)
 	fit := nn.Train(model, nn.NewAdam(cfg.LR), ys.Scale(split.Train), val, cfg.Train)
 	return &TrainResult{
 		Model: model, Schema: schema, Standardizer: std, YScale: ys,
 		Fit: fit, Examples: len(examples),
 	}, nil
+}
+
+// instrumentEpochs chains an epoch observer that feeds the training
+// telemetry (epoch timing histogram, loss-curve gauges, epoch counter)
+// and structured progress logs, preserving any caller-supplied hook.
+// A nil registry and nil logger yield the original hook unchanged.
+func instrumentEpochs(reg *obs.Registry, logger *slog.Logger, next func(int, float64, float64, time.Duration)) func(int, float64, float64, time.Duration) {
+	if reg == nil && logger == nil {
+		return next
+	}
+	epochs := reg.Counter("env2vec_train_epochs_total", "Training epochs completed.", nil)
+	epochSec := reg.Histogram("env2vec_train_epoch_seconds", "Wall-clock time per training epoch.", obs.DefSecondsBuckets, nil)
+	trainLoss := reg.Gauge("env2vec_train_loss", "Loss after the most recent epoch.", obs.Labels{"split": "train"})
+	valLoss := reg.Gauge("env2vec_train_loss", "Loss after the most recent epoch.", obs.Labels{"split": "val"})
+	return func(epoch int, tl, vl float64, d time.Duration) {
+		epochs.Inc()
+		epochSec.Observe(d.Seconds())
+		trainLoss.Set(tl)
+		if !math.IsNaN(vl) {
+			valLoss.Set(vl)
+		}
+		if logger != nil {
+			logger.Debug("epoch complete", "epoch", epoch, "train_loss", tl, "val_loss", vl, "duration", d)
+		}
+		if next != nil {
+			next(epoch, tl, vl, d)
+		}
+	}
 }
 
 // ProcessExecutionWithPolicy scores an execution like ProcessExecution and

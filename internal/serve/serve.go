@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
@@ -14,6 +15,7 @@ import (
 	"env2vec/internal/anomaly"
 	"env2vec/internal/envmeta"
 	"env2vec/internal/nn"
+	"env2vec/internal/obs"
 	"env2vec/internal/stats"
 	"env2vec/internal/tensor"
 )
@@ -41,6 +43,17 @@ type Config struct {
 	// verdicts fire (default 8); until then responses carry no verdict.
 	MinCalibration int
 
+	// Obs, when non-nil, is the metrics registry the server instruments
+	// itself into; nil gets a private registry. Either way the metrics are
+	// served at GET /metrics in Prometheus text format.
+	Obs *obs.Registry
+	// Logger receives structured request-path events (shed requests, panic
+	// recoveries, model swaps). Nil discards them.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the server's
+	// mux. Off by default: profiles expose internals.
+	EnablePprof bool
+
 	// stall, when non-nil, blocks every forward pass until the channel is
 	// closed. Tests use it to hold workers busy deterministically.
 	stall chan struct{}
@@ -64,6 +77,12 @@ type Request struct {
 	// ChainID keys the online error model; defaults to the environment
 	// tuple rendered as a string.
 	ChainID string `json:"chain_id,omitempty"`
+
+	// RequestID is the trace id for this request. The HTTP handler fills it
+	// from an inbound X-Request-ID header; when still empty at admission,
+	// Do generates one. It is echoed in the response trace block (and the
+	// X-Request-ID response header on the HTTP path).
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Response is the service's answer for one request.
@@ -74,12 +93,29 @@ type Response struct {
 	BatchSize    int      `json:"batch_size"` // size of the forward pass that served this request
 	Anomalous    *bool    `json:"anomalous,omitempty"`
 	Deviation    *float64 `json:"deviation,omitempty"` // |prediction−actual|, with a verdict
+	Trace        *Trace   `json:"trace,omitempty"`
+}
+
+// Trace is the per-request timing breakdown: where this request's latency
+// went, stage by stage. The same durations feed the per-stage histograms,
+// so an opaque p99 can be attributed to queue wait vs linger vs forward
+// pass in aggregate, and to one request here.
+type Trace struct {
+	RequestID   string  `json:"request_id"`
+	BatchID     uint64  `json:"batch_id"`            // forward pass that served this request
+	QueueWaitMS float64 `json:"queue_wait_ms"`       // admission queue → batcher pickup
+	LingerMS    float64 `json:"linger_ms"`           // batcher pickup → worker starts the batch
+	ForwardMS   float64 `json:"forward_ms"`          // batch assembly + shared forward pass
+	EncodeMS    float64 `json:"encode_ms,omitempty"` // response JSON encoding (HTTP path only)
+	TotalMS     float64 `json:"total_ms"`            // admission → response ready
 }
 
 // item is one in-flight request inside the batching machinery.
 type item struct {
 	req  *Request
-	enq  time.Time
+	id   string    // request id (trace correlation)
+	enq  time.Time // admission into the queue
+	deq  time.Time // pickup by the batcher
 	resp *Response
 	code int
 	err  error
@@ -117,13 +153,18 @@ type Server struct {
 	batches chan []*item
 	mux     *http.ServeMux
 	wg      sync.WaitGroup
+	reg     *obs.Registry
+	log     *slog.Logger
 
 	mu     sync.RWMutex // guards closed against concurrent enqueues
 	closed bool
 
-	served, rejected, failed, numBatches, reloads atomic.Uint64
-	batchStats                                    batchObserver
-	latencies                                     latencyRing
+	batchSeq                          atomic.Uint64 // forward passes executed; also issues batch ids
+	served, rejected, failed, reloads *obs.Counter
+	batchSizes                        *obs.Histogram
+	latency                           *obs.Histogram // total admission→response
+	stageQueue, stageLinger, stageFwd *obs.Histogram
+	stageEncode                       *obs.Histogram
 
 	calMu sync.Mutex
 	cal   map[string]*calibration
@@ -150,16 +191,51 @@ func New(cfg Config) *Server {
 	if cfg.Detect != nil && cfg.Detect.Gamma <= 0 {
 		panic(fmt.Sprintf("serve: detection gamma must be positive, got %v", cfg.Detect.Gamma))
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.DiscardLogger()
+	}
 	s := &Server{
 		cfg:     cfg,
 		queue:   make(chan *item, cfg.QueueDepth),
 		batches: make(chan []*item),
 		cal:     make(map[string]*calibration),
+		reg:     reg,
+		log:     logger,
 	}
+	s.served = reg.Counter("env2vec_serve_requests_total", "Prediction requests by outcome.", obs.Labels{"outcome": "served"})
+	s.rejected = reg.Counter("env2vec_serve_requests_total", "Prediction requests by outcome.", obs.Labels{"outcome": "rejected"})
+	s.failed = reg.Counter("env2vec_serve_requests_total", "Prediction requests by outcome.", obs.Labels{"outcome": "failed"})
+	s.reloads = reg.Counter("env2vec_serve_model_reloads_total", "Hot model swaps after the initial load.", nil)
+	reg.CounterFunc("env2vec_serve_batches_total", "Forward-pass batches executed.", nil, s.batchSeq.Load)
+	s.batchSizes = reg.Histogram("env2vec_serve_batch_size", "Requests combined per forward pass.", batchBounds, nil)
+	s.latency = reg.Histogram("env2vec_serve_request_latency_ms", "End-to-end latency, admission to response.", obs.DefLatencyBuckets, nil)
+	stageHelp := "Per-stage request latency; stage attributes where time went."
+	s.stageQueue = reg.Histogram("env2vec_serve_stage_latency_ms", stageHelp, obs.DefLatencyBuckets, obs.Labels{"stage": "queue_wait"})
+	s.stageLinger = reg.Histogram("env2vec_serve_stage_latency_ms", stageHelp, obs.DefLatencyBuckets, obs.Labels{"stage": "linger"})
+	s.stageFwd = reg.Histogram("env2vec_serve_stage_latency_ms", stageHelp, obs.DefLatencyBuckets, obs.Labels{"stage": "forward"})
+	s.stageEncode = reg.Histogram("env2vec_serve_stage_latency_ms", stageHelp, obs.DefLatencyBuckets, obs.Labels{"stage": "encode"})
+	reg.GaugeFunc("env2vec_serve_queue_depth", "Requests waiting in the admission queue.", nil, func() float64 { return float64(len(s.queue)) })
+	reg.Gauge("env2vec_serve_queue_capacity", "Admission queue bound; overflow is shed with 429.", nil).Set(float64(cfg.QueueDepth))
+	reg.Gauge("env2vec_serve_workers", "Concurrent forward-pass workers.", nil).Set(float64(cfg.Workers))
+	reg.GaugeFunc("env2vec_serve_model_version", "Version of the bundle currently served (0 = none).", nil, func() float64 {
+		if b := s.bundle.Load(); b != nil {
+			return float64(b.Version)
+		}
+		return 0
+	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/predict", s.handlePredict)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statz", s.handleStatz)
+	s.mux.Handle("/metrics", reg)
+	if cfg.EnablePprof {
+		obs.RegisterPprof(s.mux)
+	}
 	s.wg.Add(1 + cfg.Workers)
 	go s.batcher()
 	for i := 0; i < cfg.Workers; i++ {
@@ -175,13 +251,20 @@ func (s *Server) SetBundle(b *Bundle) {
 		panic("serve: SetBundle(nil)")
 	}
 	if old := s.bundle.Swap(b); old != nil {
-		s.reloads.Add(1)
+		s.reloads.Inc()
+		s.log.Info("model swapped", "model", b.Name, "version", b.Version, "previous_version", old.Version)
+	} else {
+		s.log.Info("model loaded", "model", b.Name, "version", b.Version)
 	}
 }
 
 // Bundle returns the currently served model bundle (nil before the first
 // SetBundle).
 func (s *Server) Bundle() *Bundle { return s.bundle.Load() }
+
+// Metrics returns the registry the server instruments itself into, so the
+// embedding daemon can add its own metrics to the same /metrics page.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Close stops admission, drains every queued request through the workers,
 // and waits for them to finish. Safe to call once.
@@ -215,7 +298,10 @@ func (s *Server) Do(req *Request) (*Response, int, error) {
 	if err := validate(req, b); err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	it := &item{req: req, enq: time.Now(), done: make(chan struct{})}
+	if req.RequestID == "" {
+		req.RequestID = obs.NewRequestID()
+	}
+	it := &item{req: req, id: req.RequestID, enq: time.Now(), done: make(chan struct{})}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -226,7 +312,8 @@ func (s *Server) Do(req *Request) (*Response, int, error) {
 		s.mu.RUnlock()
 	default:
 		s.mu.RUnlock()
-		s.rejected.Add(1)
+		s.rejected.Inc()
+		s.log.Debug("request shed: queue full", "request_id", it.id, "queue_capacity", s.cfg.QueueDepth)
 		return nil, http.StatusTooManyRequests, ErrOverloaded
 	}
 	<-it.done
@@ -254,6 +341,7 @@ func (s *Server) batcher() {
 		if !ok {
 			return
 		}
+		first.deq = time.Now()
 		batch := []*item{first}
 		timer := time.NewTimer(s.cfg.MaxLinger)
 	collect:
@@ -263,6 +351,7 @@ func (s *Server) batcher() {
 				if !ok {
 					break collect // drained; flush what we have, exit next loop
 				}
+				it.deq = time.Now()
 				batch = append(batch, it)
 			case <-timer.C:
 				break collect
@@ -280,21 +369,30 @@ func (s *Server) worker() {
 	}
 }
 
-// runBatch executes one shared forward pass for a batch of requests.
+// runBatch executes one shared forward pass for a batch of requests. The
+// forward span opens here: everything from worker pickup through the shared
+// Predict call is attributed to the forward stage.
 func (s *Server) runBatch(items []*item) {
+	start := time.Now()
 	finish := func(it *item, resp *Response, code int, err error) {
 		it.resp, it.code, it.err = resp, code, err
 		if err != nil {
-			s.failed.Add(1)
+			s.failed.Inc()
+			s.log.Warn("request failed", "request_id", it.id, "code", code, "err", err)
 		} else {
-			s.served.Add(1)
-			s.latencies.record(time.Since(it.enq))
+			s.served.Inc()
+			total := time.Since(it.enq)
+			s.latency.Observe(obs.MS(total))
+			if resp.Trace != nil {
+				resp.Trace.TotalMS = obs.MS(total)
+			}
 		}
 		close(it.done)
 	}
 	defer func() {
 		if r := recover(); r != nil {
 			err := fmt.Errorf("serve: forward pass panicked: %v", r)
+			s.log.Error("forward pass panicked", "err", r, "batch_size", len(items))
 			for _, it := range items {
 				if it.done != nil && !done(it) {
 					finish(it, nil, http.StatusInternalServerError, err)
@@ -354,14 +452,26 @@ func (s *Server) runBatch(items []*item) {
 	}
 	preds := b.YScale.Unscale(b.Model.Predict(b.YScale.Scale(batch)))
 
-	s.numBatches.Add(1)
-	s.batchStats.observe(n)
+	batchID := s.batchSeq.Add(1)
+	s.batchSizes.Observe(float64(n))
+	fwdMS := obs.MS(time.Since(start))
 	for i, it := range valid {
+		queueMS, lingerMS := obs.MS(it.deq.Sub(it.enq)), obs.MS(start.Sub(it.deq))
+		s.stageQueue.Observe(queueMS)
+		s.stageLinger.Observe(lingerMS)
+		s.stageFwd.Observe(fwdMS)
 		resp := &Response{
 			Prediction:   preds[i],
 			Model:        b.Name,
 			ModelVersion: b.Version,
 			BatchSize:    n,
+			Trace: &Trace{
+				RequestID:   it.id,
+				BatchID:     batchID,
+				QueueWaitMS: queueMS,
+				LingerMS:    lingerMS,
+				ForwardMS:   fwdMS,
+			},
 		}
 		if s.cfg.Detect != nil && it.req.Actual != nil {
 			s.scoreAnomaly(it.req, preds[i], resp)
@@ -424,7 +534,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "invalid request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	// An inbound X-Request-ID wins over any id in the body; absent both, Do
+	// generates one. Either way the id the request was served under is
+	// echoed back in the response header and the trace block.
+	if id := r.Header.Get(obs.RequestIDHeader); id != "" {
+		req.RequestID = id
+	}
 	resp, code, err := s.Do(&req)
+	if req.RequestID != "" {
+		w.Header().Set(obs.RequestIDHeader, req.RequestID)
+	}
 	if err != nil {
 		if code == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
@@ -432,8 +551,25 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), code)
 		return
 	}
+	// Encode span: marshal once to measure, fold the measurement into the
+	// trace block, marshal again. Responses are small, so the second pass
+	// costs little and keeps the reported trace self-consistent.
+	encStart := time.Now()
+	buf, merr := json.Marshal(resp)
+	encMS := obs.MS(time.Since(encStart))
+	s.stageEncode.Observe(encMS)
+	if merr != nil {
+		http.Error(w, merr.Error(), http.StatusInternalServerError)
+		return
+	}
+	if resp.Trace != nil {
+		resp.Trace.EncodeMS = encMS
+		if buf2, err2 := json.Marshal(resp); err2 == nil {
+			buf = buf2
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
+	_, _ = w.Write(append(buf, '\n'))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,76 +1,18 @@
 package serve
 
 import (
-	"sort"
 	"strconv"
-	"sync"
 	"time"
 )
 
-// latencyRing keeps the most recent request latencies for percentile
-// estimates without unbounded growth.
-type latencyRing struct {
-	mu      sync.Mutex
-	samples [2048]float64 // milliseconds
-	next    int
-	filled  int
-}
+// batchBounds are the upper bounds of the batch-size histogram buckets;
+// the overflow bucket is open-ended. They double as the Prometheus le
+// bounds of env2vec_serve_batch_size.
+var batchBounds = []float64{1, 2, 4, 8, 16, 32, 64}
 
-func (r *latencyRing) record(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	r.mu.Lock()
-	r.samples[r.next] = ms
-	r.next = (r.next + 1) % len(r.samples)
-	if r.filled < len(r.samples) {
-		r.filled++
-	}
-	r.mu.Unlock()
-}
-
-// percentiles returns (p50, p99) over the retained window, zeros when empty.
-func (r *latencyRing) percentiles() (p50, p99 float64) {
-	r.mu.Lock()
-	n := r.filled
-	buf := make([]float64, n)
-	copy(buf, r.samples[:n])
-	r.mu.Unlock()
-	if n == 0 {
-		return 0, 0
-	}
-	sort.Float64s(buf)
-	at := func(q float64) float64 {
-		i := int(q * float64(n-1))
-		return buf[i]
-	}
-	return at(0.50), at(0.99)
-}
-
-// batchBuckets are the upper bounds of the batch-size histogram buckets;
-// the final bucket is open-ended.
-var batchBuckets = [...]int{1, 2, 4, 8, 16, 32, 64}
-
-// batchObserver tracks the distribution of forward-pass batch sizes — the
-// direct measure of how much micro-batching is amortizing.
-type batchObserver struct {
-	mu     sync.Mutex
-	counts [len(batchBuckets) + 1]uint64
-	max    int
-}
-
-func (o *batchObserver) observe(size int) {
-	i := 0
-	for i < len(batchBuckets) && size > batchBuckets[i] {
-		i++
-	}
-	o.mu.Lock()
-	o.counts[i]++
-	if size > o.max {
-		o.max = size
-	}
-	o.mu.Unlock()
-}
-
-// Stats is the /statz payload.
+// Stats is the /statz payload. The counters and histograms behind it are
+// the same obs metrics served at /metrics; /statz is their JSON projection
+// and stays backward-compatible with the pre-obs shape.
 type Stats struct {
 	Model         string  `json:"model"`
 	ModelVersion  int     `json:"model_version"`
@@ -90,6 +32,13 @@ type Stats struct {
 	BatchHistogram   map[string]uint64 `json:"batch_histogram"`
 	P50LatencyMS     float64           `json:"p50_latency_ms"`
 	P99LatencyMS     float64           `json:"p99_latency_ms"`
+
+	// Per-stage p99s attribute the tail: a slow P99LatencyMS decomposes
+	// into time spent queued, lingering for batch-mates, or in the forward
+	// pass itself.
+	QueueWaitP99MS float64 `json:"queue_wait_p99_ms"`
+	LingerP99MS    float64 `json:"linger_p99_ms"`
+	ForwardP99MS   float64 `json:"forward_p99_ms"`
 }
 
 // Stats snapshots the server's counters.
@@ -100,33 +49,37 @@ func (s *Server) Stats() Stats {
 		MaxLingerMS:    float64(s.cfg.MaxLinger) / float64(time.Millisecond),
 		QueueDepth:     len(s.queue),
 		QueueCapacity:  s.cfg.QueueDepth,
-		Served:         s.served.Load(),
-		Rejected:       s.rejected.Load(),
-		Failed:         s.failed.Load(),
-		Batches:        s.numBatches.Load(),
-		Reloads:        s.reloads.Load(),
+		Served:         s.served.Value(),
+		Rejected:       s.rejected.Value(),
+		Failed:         s.failed.Value(),
+		Batches:        s.batchSeq.Load(),
+		Reloads:        s.reloads.Value(),
 		BatchHistogram: make(map[string]uint64),
 	}
 	if b := s.bundle.Load(); b != nil {
 		st.Model, st.ModelVersion = b.Name, b.Version
 	}
-	s.batchStats.mu.Lock()
-	st.MaxBatchObserved = s.batchStats.max
+	bounds, counts := s.batchSizes.Snapshot()
 	lo := 1
-	for i, hi := range batchBuckets {
+	for i, b := range bounds {
+		hi := int(b)
 		label := strconv.Itoa(hi)
 		if lo < hi {
 			label = strconv.Itoa(lo) + "-" + strconv.Itoa(hi)
 		}
-		if c := s.batchStats.counts[i]; c > 0 {
+		if c := counts[i]; c > 0 {
 			st.BatchHistogram[label] = c
 		}
 		lo = hi + 1
 	}
-	if c := s.batchStats.counts[len(batchBuckets)]; c > 0 {
+	if c := counts[len(bounds)]; c > 0 {
 		st.BatchHistogram[strconv.Itoa(lo)+"+"] = c
 	}
-	s.batchStats.mu.Unlock()
-	st.P50LatencyMS, st.P99LatencyMS = s.latencies.percentiles()
+	st.MaxBatchObserved = int(s.batchSizes.Max())
+	qs := s.latency.Quantiles(0.50, 0.99)
+	st.P50LatencyMS, st.P99LatencyMS = qs[0], qs[1]
+	st.QueueWaitP99MS = s.stageQueue.Quantile(0.99)
+	st.LingerP99MS = s.stageLinger.Quantile(0.99)
+	st.ForwardP99MS = s.stageFwd.Quantile(0.99)
 	return st
 }

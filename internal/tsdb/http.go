@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -14,6 +15,11 @@ import (
 //	GET /metrics (all series, text exposition; for federation/debugging)
 type Handler struct {
 	DB *DB
+	// SelfMetrics, when non-nil, is rendered ahead of the stored series on
+	// /metrics — the daemon's own telemetry (scrape counters, series
+	// gauges) sharing the page with the federation dump. An obs.Registry
+	// satisfies this without tsdb depending on the obs package.
+	SelfMetrics io.WriterTo
 }
 
 // queryResponse is the JSON shape returned by query_range.
@@ -89,6 +95,9 @@ func (h *Handler) labelValues(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) dump(w http.ResponseWriter) {
 	series := h.DB.Query(Labels{}, 0, 1<<62)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if h.SelfMetrics != nil {
+		_, _ = h.SelfMetrics.WriteTo(w)
+	}
 	_ = WriteExposition(w, series)
 }
 

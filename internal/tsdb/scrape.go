@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"sync"
@@ -86,10 +88,21 @@ type Scraper struct {
 	Client   *http.Client
 	// Now supplies the default sample timestamp; overridable in tests.
 	Now func() int64
+	// Logger, when non-nil, receives scrape failures that were previously
+	// swallowed (down targets, unreadable discovery files); attach a
+	// component field so a shared stderr stream stays attributable.
+	Logger *slog.Logger
 
 	mu      sync.Mutex
 	scrapes int
 	errs    int
+}
+
+func (s *Scraper) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
 // NewScraper builds a scraper over db using the discovery file at sdPath.
@@ -119,7 +132,10 @@ func (s *Scraper) ScrapeOnce(ctx context.Context) (int, error) {
 			}
 			s.mu.Unlock()
 			if err != nil {
-				continue // a down target must not block the others
+				// A down target must not block the others, but it must not
+				// vanish silently either.
+				s.logger().Warn("target scrape failed", "target", target, "err", err)
+				continue
 			}
 			total += n
 		}
@@ -169,7 +185,9 @@ func (s *Scraper) Run(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			_, _ = s.ScrapeOnce(ctx)
+			if _, err := s.ScrapeOnce(ctx); err != nil {
+				s.logger().Error("scrape cycle failed", "sd_path", s.SDPath, "err", err)
+			}
 		}
 	}
 }
