@@ -1,0 +1,194 @@
+// Command e2vload is a closed-loop load generator for e2vserve: it
+// discovers the served model's input shape from GET /statz, drives POST
+// /predict from concurrent workers (optionally rate-limited, optionally
+// carrying synthetic ground truth to exercise the quality monitor), and
+// finishes by printing both the client-side latency picture and the
+// server's own per-stage p99 attribution from /statz.
+//
+//	e2vload -addr http://localhost:9090 [-c 4] [-duration 10s] [-rps 0]
+//	        [-actuals 0] [-seed 1]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"env2vec/internal/obs"
+	"env2vec/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "e2vload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("e2vload", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:9090", "base URL of the prediction service")
+	conc := fs.Int("c", 4, "concurrent request workers")
+	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
+	rps := fs.Float64("rps", 0, "target aggregate requests/second (0 = unthrottled)")
+	actuals := fs.Float64("actuals", 0, "fraction of requests carrying synthetic ground truth (feeds the quality monitor)")
+	seed := fs.Int64("seed", 1, "random seed for request generation")
+	_ = fs.Parse(args)
+	if *conc <= 0 {
+		return fmt.Errorf("-c must be positive")
+	}
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Shape discovery: /statz tells us the model's feature arity and window,
+	// so the generator needs no model file of its own.
+	st, err := fetchStats(client, base)
+	if err != nil {
+		return err
+	}
+	if st.Model == "" || st.ModelIn <= 0 || st.ModelWindow <= 0 {
+		return fmt.Errorf("%s serves no model yet (statz: model=%q in=%d window=%d)", base, st.Model, st.ModelIn, st.ModelWindow)
+	}
+	fmt.Fprintf(w, "target %s model=%s/v%d in=%d window=%d workers=%d duration=%s\n",
+		base, st.Model, st.ModelVersion, st.ModelIn, st.ModelWindow, *conc, *duration)
+
+	var tick <-chan time.Time
+	if *rps > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / *rps))
+		defer t.Stop()
+		tick = t.C
+	}
+	latency := obs.NewRegistry().Histogram("client_latency_ms", "", obs.DefLatencyBuckets, nil)
+	var ok, shed, failed atomic.Uint64
+	var lastErr atomic.Value
+	deadline := time.Now().Add(*duration)
+	begin := time.Now()
+
+	var wg sync.WaitGroup
+	for g := 0; g < *conc; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(g)))
+			for time.Now().Before(deadline) {
+				if tick != nil {
+					select {
+					case <-tick:
+					case <-time.After(time.Until(deadline)):
+						return
+					}
+				}
+				req := genRequest(rng, st.ModelIn, st.ModelWindow, *actuals)
+				t0 := time.Now()
+				code, err := postPredict(client, base, req)
+				latency.Observe(obs.MS(time.Since(t0)))
+				switch {
+				case err != nil:
+					failed.Add(1)
+					lastErr.Store(err)
+				case code == http.StatusOK:
+					ok.Add(1)
+				case code == http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					failed.Add(1)
+					lastErr.Store(fmt.Errorf("status %d", code))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	total := ok.Load() + shed.Load() + failed.Load()
+	if total == 0 {
+		return fmt.Errorf("no requests completed")
+	}
+	qs := latency.Quantiles(0.50, 0.99)
+	fmt.Fprintf(w, "sent %d requests in %s (%.1f req/s): %d ok, %d shed (429), %d failed\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), ok.Load(), shed.Load(), failed.Load())
+	fmt.Fprintf(w, "client latency p50=%.2fms p99=%.2fms\n", qs[0], qs[1])
+	if err, _ := lastErr.Load().(error); err != nil {
+		fmt.Fprintf(w, "last failure: %v\n", err)
+	}
+
+	// The server's own attribution: where the tail went, stage by stage.
+	st, err = fetchStats(client, base)
+	if err != nil {
+		return fmt.Errorf("final statz fetch: %w", err)
+	}
+	fmt.Fprintf(w, "server p50=%.2fms p99=%.2fms (queue_wait p99=%.2fms, linger p99=%.2fms, forward p99=%.2fms)\n",
+		st.P50LatencyMS, st.P99LatencyMS, st.QueueWaitP99MS, st.LingerP99MS, st.ForwardP99MS)
+	fmt.Fprintf(w, "server batches=%d max_batch_observed=%d rejected=%d\n",
+		st.Batches, st.MaxBatchObserved, st.Rejected)
+	if n := len(st.LatencyExemplars); n > 0 {
+		ex := st.LatencyExemplars[n-1]
+		fmt.Fprintf(w, "slowest-bucket exemplar: le=%s request_id=%s value=%.2fms\n", ex.LE, ex.RequestID, ex.Value)
+	}
+	return nil
+}
+
+// fetchStats decodes GET /statz.
+func fetchStats(client *http.Client, base string) (serve.Stats, error) {
+	var st serve.Stats
+	resp, err := client.Get(base + "/statz")
+	if err != nil {
+		return st, fmt.Errorf("statz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("statz: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("statz: decode: %w", err)
+	}
+	return st, nil
+}
+
+// genRequest draws one synthetic request matching the model's shape; with
+// probability actuals it carries ground truth near the window mean, so a
+// quality-enabled server gets observations to chew on.
+func genRequest(rng *rand.Rand, in, window int, actuals float64) *serve.Request {
+	req := &serve.Request{
+		CF:      make([]float64, in),
+		Window:  make([]float64, window),
+		Testbed: "loadgen", SUT: "loadgen", Testcase: "load", Build: "B1",
+	}
+	for j := range req.CF {
+		req.CF[j] = rng.NormFloat64()
+	}
+	for j := range req.Window {
+		req.Window[j] = 50 + 5*rng.NormFloat64()
+	}
+	if actuals > 0 && rng.Float64() < actuals {
+		a := 50 + 5*rng.NormFloat64()
+		req.Actual = &a
+	}
+	return req
+}
+
+// postPredict sends one prediction request, returning the status code.
+func postPredict(client *http.Client, base string, req *serve.Request) (int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(base+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	return resp.StatusCode, nil
+}

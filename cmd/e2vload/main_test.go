@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"env2vec/internal/core"
+	"env2vec/internal/dataset"
+	"env2vec/internal/envmeta"
+	"env2vec/internal/quality"
+	"env2vec/internal/serve"
+)
+
+// loadTestServer hosts a real serve.Server (quality monitor on) behind
+// httptest for the generator to hammer.
+func loadTestServer(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	cfg := core.Config{In: 3, Hidden: 8, GRUHidden: 4, EmbedDim: 3, Window: 2, Seed: 5}
+	schema := envmeta.NewSchema()
+	schema.Observe(envmeta.Environment{Testbed: "tb1", SUT: "fw", Testcase: "load", Build: "B1"})
+	schema.Freeze()
+	b := &serve.Bundle{
+		Name: "test", Version: 1,
+		Model:    core.New(cfg, schema),
+		Schema:   schema,
+		YScale:   dataset.YScaler{Mu: 50, Sigma: 10},
+		Baseline: &quality.Baseline{Mu: 0, Sigma: 5, Samples: 100},
+	}
+	s := serve.New(serve.Config{
+		MaxBatch: 8, MaxLinger: time.Millisecond, QueueDepth: 64, Workers: 2,
+		Quality: &quality.Config{},
+	})
+	t.Cleanup(s.Close)
+	s.SetBundle(b)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func TestLoadGeneratorDrivesServer(t *testing.T) {
+	s, srv := loadTestServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", srv.URL, "-c", "3", "-duration", "300ms", "-rps", "300", "-actuals", "0.5",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if s.Stats().Served == 0 {
+		t.Fatal("generator served no traffic")
+	}
+	for _, want := range []string{
+		"model=test/v1 in=3 window=2",
+		"sent ",
+		"client latency p50=",
+		"forward p99=",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Half the requests carried ground truth, so the quality monitor saw them.
+	if s.Quality().Snapshot().Observations == 0 {
+		t.Fatalf("no quality observations despite -actuals 0.5")
+	}
+}
+
+func TestLoadGeneratorRefusesModellessServer(t *testing.T) {
+	s := serve.New(serve.Config{MaxBatch: 1, QueueDepth: 8, Workers: 1})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	var out bytes.Buffer
+	err := run([]string{"-addr", srv.URL, "-duration", "100ms"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no model") {
+		t.Fatalf("expected no-model error, got %v", err)
+	}
+}
+
+func TestLoadGeneratorUnreachableTarget(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-addr", "http://127.0.0.1:1", "-duration", "100ms"}, &out); err == nil {
+		t.Fatal("expected error for unreachable target")
+	}
+}

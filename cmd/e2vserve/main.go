@@ -11,10 +11,13 @@
 //	e2vserve -registry http://HOST:8080 [-name env2vec] [-poll 10s]
 //	    Pull the latest published version and keep polling for updates.
 //
-// Endpoints: POST /predict, GET /healthz, GET /statz, GET /metrics
+// Endpoints: POST /predict, POST /observe (deferred ground truth), GET
+// /quality (model-quality report), GET /healthz, GET /statz, GET /metrics
 // (Prometheus text format), and — with -pprof — GET /debug/pprof/.
-// Diagnostics go to stderr as structured (slog) records; see
-// docs/observability.md for metric names and trace fields.
+// The model-quality monitor is always on; point -alarmstore at an alarm
+// store to have drift alarms delivered there. Diagnostics go to stderr as
+// structured (slog) records; see docs/observability.md for metric names,
+// trace fields, and the quality/alarm pipeline.
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	"env2vec/internal/modelserver"
 	"env2vec/internal/nn"
 	"env2vec/internal/obs"
+	"env2vec/internal/quality"
 	"env2vec/internal/serve"
 )
 
@@ -56,6 +60,11 @@ func run(args []string) error {
 	gamma := fs.Float64("gamma", 0, "enable inline anomaly verdicts with this γ threshold (0 disables)")
 	absFilter := fs.Float64("abs-filter", 5, "absolute deviation filter for verdicts (0 disables)")
 	minCal := fs.Int("min-cal", 8, "observations per chain before verdicts are emitted")
+	qGamma := fs.Float64("quality-gamma", 3, "quality monitor γ: errors beyond γ·σ of the baseline count as exceedances")
+	qWindow := fs.Int("quality-window", 64, "quality monitor window of recent errors per environment")
+	qMin := fs.Int("quality-min", 16, "observations per environment before drift verdicts fire")
+	qExceed := fs.Float64("quality-exceed-rate", 0.5, "fraction of the window beyond γ·σ that raises a drift alarm")
+	alarmURL := fs.String("alarmstore", "", "alarm-store base URL drift alarms are pushed to (empty = local only)")
 	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ handlers")
 	_ = fs.Parse(args)
@@ -81,6 +90,15 @@ func run(args []string) error {
 	}
 	if *gamma > 0 {
 		cfg.Detect = &anomaly.Config{Gamma: *gamma, AbsFilter: *absFilter}
+	}
+	// The quality monitor is always on: it only needs ground truth (inline
+	// actuals or POST /observe) to produce anything. Alarms leave the
+	// process only when -alarmstore names a store.
+	cfg.Quality = &quality.Config{
+		Gamma: *qGamma, Window: *qWindow, MinSamples: *qMin, ExceedRate: *qExceed,
+	}
+	if *alarmURL != "" {
+		cfg.AlarmSink = quality.HTTPSink{URL: *alarmURL}
 	}
 	srv := serve.New(cfg)
 
@@ -124,7 +142,8 @@ func run(args []string) error {
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("listening", "addr", *addr,
-			"endpoints", "POST /predict, GET /healthz, GET /statz, GET /metrics", "pprof", *pprofOn)
+			"endpoints", "POST /predict, POST /observe, GET /quality, GET /healthz, GET /statz, GET /metrics",
+			"alarmstore", *alarmURL, "pprof", *pprofOn)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

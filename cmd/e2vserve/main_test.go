@@ -104,6 +104,8 @@ func TestServeMetricsScrape(t *testing.T) {
 		"env2vec_serve_queue_capacity 256",
 		`env2vec_serve_stage_latency_ms_bucket{stage="forward"`,
 		"modelserver_watcher_polls_total",
+		"# TYPE env2vec_quality_observations_total counter",
+		"env2vec_quality_alarms_total 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics page missing %q:\n%s", want, body)

@@ -120,7 +120,7 @@ func cmdTrain(args []string) error {
 	snap.Meta["window"] = fmt.Sprint(*window)
 	// Embed the serving artifacts (config, vocab, scalers) so the snapshot
 	// alone is enough for e2vserve to reconstruct a predictor.
-	if err := serve.AttachArtifacts(snap, tr.Model.Config(), tr.Schema, tr.Standardizer, tr.YScale); err != nil {
+	if err := serve.AttachArtifacts(snap, tr.Model.Config(), tr.Schema, tr.Standardizer, tr.YScale, tr.Baseline); err != nil {
 		return err
 	}
 	if err := snap.SaveFile(*model); err != nil {

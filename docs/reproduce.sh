@@ -11,8 +11,17 @@ if [ -n "$fmt" ]; then
 fi
 go vet ./...
 # The serving path is the one place with real concurrency: prove it race-free.
-go test -race ./internal/obs/ ./internal/serve/ ./internal/modelserver/
+# quality and alarmstore sit on that same path (async alarm delivery).
+go test -race ./internal/obs/ ./internal/serve/ ./internal/modelserver/ \
+    ./internal/quality/ ./internal/alarmstore/
 # Smoke-test the /metrics surface end to end: boot each daemon, scrape it.
+# The e2vserve scrape asserts the quality metrics; the serve suite's
+# /metrics round trip runs every exposition page (exemplar suffixes
+# included) through tsdb.ParseExposition.
 go test -run 'MetricsScrape' ./cmd/e2vserve/ ./cmd/tsdbd/
+# The quality loop end to end: drift inject -> alarm in the store -> /quality.
+go test -run 'QualityLoop|ObserveClosesTheLoop' ./internal/serve/
+# Load harness drives a live server and reads back /statz stage p99s.
+go test -run 'LoadGenerator' ./cmd/e2vload/
 go run ./cmd/kdnbench -seeds 2 | tee docs/outputs/kdnbench.txt
 go run ./cmd/telecombench -slow -csv docs/outputs/figures | tee docs/outputs/telecombench.txt

@@ -13,7 +13,9 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"env2vec/internal/anomaly"
 )
@@ -177,32 +179,42 @@ func (s *Store) Len() int {
 //
 //	POST /alarms              (JSON anomaly.Alarm body) → stored record
 //	GET  /alarms?chain=&testbed=&detector=&from=&to=    → matching records
+//
+// Errors come back as {"error": "..."} JSON bodies.
 type Handler struct {
 	Store *Store
-	// Now supplies CreatedAt for pushed alarms; overridable in tests.
+	// Now supplies CreatedAt for pushed alarms; defaults to the wall clock,
+	// overridable in tests.
 	Now func() int64
+}
+
+// jsonError writes an {"error": ...} body with the given status.
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/alarms" {
-		http.NotFound(w, r)
+		jsonError(w, http.StatusNotFound, "not found")
 		return
 	}
 	switch r.Method {
 	case http.MethodPost:
 		var a anomaly.Alarm
 		if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
-			http.Error(w, "bad alarm body: "+err.Error(), http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, "bad alarm body: "+err.Error())
 			return
 		}
-		now := int64(0)
+		now := time.Now().Unix()
 		if h.Now != nil {
 			now = h.Now()
 		}
 		rec, err := h.Store.Push(a, now)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			jsonError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -214,9 +226,31 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			Testbed:  r.URL.Query().Get("testbed"),
 			Detector: r.URL.Query().Get("detector"),
 		}
+		var err error
+		if q.From, err = timeParam(r, "from"); err != nil {
+			jsonError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if q.To, err = timeParam(r, "to"); err != nil {
+			jsonError(w, http.StatusBadRequest, err.Error())
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(h.Store.Find(q))
 	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
 	}
+}
+
+// timeParam parses an optional unix-seconds query parameter.
+func timeParam(r *http.Request, name string) (int64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("alarmstore: bad %s %q: want unix seconds", name, v)
+	}
+	return n, nil
 }

@@ -3,11 +3,14 @@ package alarmstore
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"env2vec/internal/anomaly"
 )
@@ -153,5 +156,128 @@ func TestHTTPHandler(t *testing.T) {
 	del.Body.Close()
 	if del.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("method status %d", del.StatusCode)
+	}
+}
+
+func TestHTTPTimeRangeAndJSONErrors(t *testing.T) {
+	s, _ := Open("")
+	_, _ = s.Push(demoAlarm("c1", 0), 100)
+	_, _ = s.Push(demoAlarm("c1", 1), 200)
+	_, _ = s.Push(demoAlarm("c1", 2), 300)
+	srv := httptest.NewServer(&Handler{Store: s, Now: func() int64 { return 42 }})
+	defer srv.Close()
+
+	// from/to narrow the result set; previously both were silently ignored.
+	get, err := http.Get(srv.URL + "/alarms?from=150&to=250")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	if err := json.NewDecoder(get.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if len(recs) != 1 || recs[0].CreatedAt != 200 {
+		t.Fatalf("time-range query wrong: %+v", recs)
+	}
+
+	// A malformed bound is a JSON-shaped 400, not a plain-text page.
+	bad, err := http.Get(srv.URL + "/alarms?from=yesterday")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errBody map[string]string
+	if err := json.NewDecoder(bad.Body).Decode(&errBody); err != nil {
+		t.Fatalf("error body is not JSON: %v", err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest || errBody["error"] == "" {
+		t.Fatalf("bad bound: %d %v", bad.StatusCode, errBody)
+	}
+	if ct := bad.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error content type %q", ct)
+	}
+}
+
+func TestHTTPDefaultNowStampsWallClock(t *testing.T) {
+	s, _ := Open("")
+	srv := httptest.NewServer(&Handler{Store: s}) // no Now override
+	defer srv.Close()
+	body, _ := json.Marshal(demoAlarm("c1", 0))
+	before := time.Now().Unix()
+	resp, err := http.Post(srv.URL+"/alarms", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rec.CreatedAt < before || rec.CreatedAt > time.Now().Unix() {
+		t.Fatalf("CreatedAt %d not stamped from the wall clock", rec.CreatedAt)
+	}
+}
+
+// TestConcurrentAppendAndQuery hammers Push, Find, and the HTTP surface in
+// parallel; run with -race this proves the store's locking holds up under
+// the async alarm pipeline plus engineers querying at the same time.
+func TestConcurrentAppendAndQuery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "alarms.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(&Handler{Store: s})
+	defer srv.Close()
+
+	const writers, queriers, perWriter = 4, 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := s.Push(demoAlarm("c1", i), int64(w*1000+i)); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				_ = s.Find(Query{ChainID: "c1"})
+				resp, err := http.Get(srv.URL + "/alarms?chain=c1&from=0")
+				if err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != writers*perWriter {
+		t.Fatalf("stored %d alarms, want %d", s.Len(), writers*perWriter)
+	}
+	ids := map[int]bool{}
+	for _, rec := range s.Find(Query{}) {
+		if ids[rec.ID] {
+			t.Fatalf("duplicate id %d under concurrency", rec.ID)
+		}
+		ids[rec.ID] = true
+	}
+	// The file survives a reload with every record intact.
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != writers*perWriter {
+		t.Fatalf("reloaded %d records, want %d", re.Len(), writers*perWriter)
 	}
 }

@@ -73,11 +73,14 @@ func SelfFlag(pred, actual []float64, cfg Config) []bool {
 }
 
 // Alarm is one reported problem interval, carrying everything a testing
-// engineer needs to locate the issue (step 4 of the workflow).
+// engineer needs to locate the issue (step 4 of the workflow): the full
+// environment tuple plus the flagged time interval.
 type Alarm struct {
 	Detector  string
 	ChainID   string
 	Testbed   string
+	SUT       string `json:",omitempty"`
+	Testcase  string `json:",omitempty"`
 	Build     string
 	StartIdx  int   // first flagged timestep (inclusive)
 	EndIdx    int   // last flagged timestep (inclusive)
@@ -126,7 +129,8 @@ func MergeAlarms(detector string, s *dataset.Series, flags []bool, pred []float6
 		if !inAlarm {
 			cur = Alarm{
 				Detector: detector, ChainID: s.ChainID,
-				Testbed: s.Env.Testbed, Build: s.Env.Build,
+				Testbed: s.Env.Testbed, SUT: s.Env.SUT,
+				Testcase: s.Env.Testcase, Build: s.Env.Build,
 				StartIdx: i, EndIdx: i, PeakDev: dev,
 			}
 			if len(s.Times) == s.Len() {

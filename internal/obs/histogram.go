@@ -20,20 +20,38 @@ var DefLatencyBuckets = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 1
 // such as training epochs.
 var DefSecondsBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120}
 
+// Exemplar links one concrete observation to the bucket it landed in: the
+// raw value plus the request id that produced it. A p99 spike in a bucket
+// histogram can thus be traced to a real request without client-side
+// sampling.
+type Exemplar struct {
+	Value     float64 `json:"value"`
+	RequestID string  `json:"request_id"`
+}
+
+// BucketExemplar is an exemplar together with the upper bound of the bucket
+// it annotates ("+Inf" for the overflow bucket).
+type BucketExemplar struct {
+	LE string `json:"le"`
+	Exemplar
+}
+
 // Histogram is a fixed-bucket histogram that additionally retains the most
 // recent ringSize raw samples, so it exports Prometheus bucket counts AND
-// answers exact percentile queries over the recent window. All methods are
-// nil-safe and safe for concurrent use.
+// answers exact percentile queries over the recent window. Each bucket also
+// remembers the last exemplar observed into it (see ObserveExemplar). All
+// methods are nil-safe and safe for concurrent use.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // ascending upper bounds; +Inf implicit
-	counts []uint64  // len(bounds)+1
-	sum    float64
-	count  uint64
-	max    float64
-	ring   [ringSize]float64
-	next   int
-	filled int
+	mu        sync.Mutex
+	bounds    []float64 // ascending upper bounds; +Inf implicit
+	counts    []uint64  // len(bounds)+1
+	exemplars []Exemplar
+	sum       float64
+	count     uint64
+	max       float64
+	ring      [ringSize]float64
+	next      int
+	filled    int
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -47,13 +65,24 @@ func newHistogram(bounds []float64) *Histogram {
 func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
 
 // Observe records one sample.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveExemplar(v, "") }
+
+// ObserveExemplar records one sample and, when requestID is non-empty,
+// stores it as the bucket's exemplar (last writer wins), so the bucket
+// remembers the most recent request that landed in it.
+func (h *Histogram) ObserveExemplar(v float64, requestID string) {
 	if h == nil {
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.mu.Lock()
 	h.counts[i]++
+	if requestID != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]Exemplar, len(h.bounds)+1)
+		}
+		h.exemplars[i] = Exemplar{Value: v, RequestID: requestID}
+	}
 	h.sum += v
 	h.count++
 	if v > h.max {
@@ -65,6 +94,31 @@ func (h *Histogram) Observe(v float64) {
 		h.filled++
 	}
 	h.mu.Unlock()
+}
+
+// Exemplars returns the buckets that currently hold an exemplar, in bound
+// order (the overflow bucket renders as le="+Inf"). Nil-safe.
+func (h *Histogram) Exemplars() []BucketExemplar {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.exemplars == nil {
+		return nil
+	}
+	var out []BucketExemplar
+	for i, ex := range h.exemplars {
+		if ex.RequestID == "" {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		out = append(out, BucketExemplar{LE: le, Exemplar: ex})
+	}
+	return out
 }
 
 // Count returns the total number of observations (0 on nil).
@@ -163,22 +217,31 @@ func (h *Histogram) Snapshot() (bounds []float64, counts []uint64) {
 }
 
 // write renders the histogram in Prometheus exposition form: cumulative
-// _bucket{le=...} series, then _sum and _count.
+// _bucket{le=...} series, then _sum and _count. Buckets holding an exemplar
+// get an OpenMetrics-style `# {request_id="..."} value` suffix, so a scrape
+// links each hot bucket to the last concrete request that landed in it.
 func (h *Histogram) write(w io.Writer, name string, lbls Labels) error {
 	h.mu.Lock()
 	bounds := append([]float64(nil), h.bounds...)
 	counts := append([]uint64(nil), h.counts...)
+	exemplars := append([]Exemplar(nil), h.exemplars...)
 	sum, count := h.sum, h.count
 	h.mu.Unlock()
+	suffix := func(i int) string {
+		if i >= len(exemplars) || exemplars[i].RequestID == "" {
+			return ""
+		}
+		return fmt.Sprintf(" # {request_id=%q} %s", exemplars[i].RequestID, formatFloat(exemplars[i].Value))
+	}
 	cum := uint64(0)
 	for i, b := range bounds {
 		cum += counts[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, lbls.render("le", formatFloat(b)), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, lbls.render("le", formatFloat(b)), cum, suffix(i)); err != nil {
 			return err
 		}
 	}
 	cum += counts[len(bounds)]
-	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, lbls.render("le", "+Inf"), cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, lbls.render("le", "+Inf"), cum, suffix(len(bounds))); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, lbls.render(), formatFloat(sum)); err != nil {

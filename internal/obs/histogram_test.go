@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -103,5 +104,56 @@ func TestHistogramNilSafe(t *testing.T) {
 	h.Observe(1) // must not panic
 	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
 		t.Fatal("nil histogram should read as empty")
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	h.Observe(0.5) // no exemplar
+	if ex := h.Exemplars(); ex != nil {
+		t.Fatalf("exemplars before any ObserveExemplar: %v", ex)
+	}
+	h.ObserveExemplar(5, "req-a")
+	h.ObserveExemplar(7, "req-b") // same bucket: last writer wins
+	h.ObserveExemplar(500, "req-slow")
+	ex := h.Exemplars()
+	if len(ex) != 2 {
+		t.Fatalf("exemplar buckets %d, want 2: %v", len(ex), ex)
+	}
+	if ex[0].LE != "10" || ex[0].RequestID != "req-b" || ex[0].Value != 7 {
+		t.Fatalf("le=10 exemplar wrong: %+v", ex[0])
+	}
+	if ex[1].LE != "+Inf" || ex[1].RequestID != "req-slow" || ex[1].Value != 500 {
+		t.Fatalf("overflow exemplar wrong: %+v", ex[1])
+	}
+	// ObserveExemplar with an empty id records the sample but keeps the
+	// previous exemplar.
+	h.ObserveExemplar(6, "")
+	if got := h.Exemplars()[0].RequestID; got != "req-b" {
+		t.Fatalf("empty-id observation evicted exemplar: %q", got)
+	}
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, "x") // must not panic
+	if nilH.Exemplars() != nil {
+		t.Fatal("nil histogram should have no exemplars")
+	}
+}
+
+func TestHistogramExemplarExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("demo_latency_ms", "demo", []float64{1, 10}, nil)
+	h.ObserveExemplar(5, "abc123")
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `demo_latency_ms_bucket{le="10"} 1 # {request_id="abc123"} 5`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing exemplar suffix %q:\n%s", want, out)
+	}
+	// Buckets without exemplars stay plain.
+	if !strings.Contains(out, "demo_latency_ms_bucket{le=\"1\"} 0\n") {
+		t.Fatalf("empty bucket polluted:\n%s", out)
 	}
 }

@@ -31,7 +31,9 @@ import (
 	"env2vec/internal/modelserver"
 	"env2vec/internal/nn"
 	"env2vec/internal/obs"
+	"env2vec/internal/quality"
 	"env2vec/internal/serve"
+	"env2vec/internal/stats"
 	"env2vec/internal/tensor"
 	"env2vec/internal/tsdb"
 )
@@ -204,6 +206,10 @@ type TrainResult struct {
 	YScale       dataset.YScaler
 	Fit          nn.TrainResult
 	Examples     int
+	// Baseline is the fitted model's prediction-error distribution on
+	// held-out data — the N(μ_err, σ_err) reference the online quality
+	// monitor compares serving-time errors against.
+	Baseline *quality.Baseline
 }
 
 // Train runs workflow step (2): pool every series not excluded (executions
@@ -247,7 +253,30 @@ func Train(ds *dataset.Dataset, exclude map[*dataset.Series]bool, cfg TrainerCon
 	return &TrainResult{
 		Model: model, Schema: schema, Standardizer: std, YScale: ys,
 		Fit: fit, Examples: len(examples),
+		Baseline: fitErrorBaseline(model, ys, split),
 	}, nil
+}
+
+// fitErrorBaseline scores the fitted model on the held-out split (the
+// training split when no validation data exists) and fits the Gaussian
+// error baseline that travels with the published snapshot, so the serving
+// side can threshold live errors the way the paper thresholds errors on
+// previous builds.
+func fitErrorBaseline(model *core.Model, ys dataset.YScaler, split *dataset.Split) *quality.Baseline {
+	b := split.Val
+	if b.Len() == 0 {
+		b = split.Train
+	}
+	if b.Len() == 0 {
+		return nil
+	}
+	pred := ys.Unscale(model.Predict(ys.Scale(b)))
+	errs := make([]float64, len(pred))
+	for i := range pred {
+		errs[i] = pred[i] - b.Y.Data[i]
+	}
+	g := stats.FitGaussian(errs)
+	return &quality.Baseline{Mu: g.Mu, Sigma: g.Sigma, Samples: len(errs)}
 }
 
 // instrumentEpochs chains an epoch observer that feeds the training
@@ -368,7 +397,7 @@ func PublishModel(client *modelserver.Client, name string, tr *TrainResult) (int
 // publish-then-serve path.
 func PublishForServing(client *modelserver.Client, name string, tr *TrainResult) (int, error) {
 	snap := tr.Model.Snapshot()
-	if err := serve.AttachArtifacts(snap, tr.Model.Config(), tr.Schema, tr.Standardizer, tr.YScale); err != nil {
+	if err := serve.AttachArtifacts(snap, tr.Model.Config(), tr.Schema, tr.Standardizer, tr.YScale, tr.Baseline); err != nil {
 		return 0, err
 	}
 	return client.Publish(name, snap)

@@ -16,6 +16,7 @@ import (
 	"env2vec/internal/dataset"
 	"env2vec/internal/envmeta"
 	"env2vec/internal/nn"
+	"env2vec/internal/quality"
 )
 
 // ArtifactsKey is the snapshot-metadata key under which serving artifacts
@@ -24,21 +25,25 @@ const ArtifactsKey = "serve.artifacts"
 
 // artifacts is everything beyond the weights needed to reconstruct a
 // serving-ready model from a registry snapshot: the architecture config, the
-// frozen metadata vocabularies, and the input/target scalers.
+// frozen metadata vocabularies, the input/target scalers, and the
+// training-time prediction-error baseline the online quality monitor
+// compares live errors against.
 type artifacts struct {
-	Config core.Config `json:"config"`
-	Vocab  [][]string  `json:"vocab"` // per-feature values in id order
-	XMean  []float64   `json:"xmean"`
-	XStd   []float64   `json:"xstd"`
-	YMu    float64     `json:"ymu"`
-	YSigma float64     `json:"ysigma"`
+	Config   core.Config       `json:"config"`
+	Vocab    [][]string        `json:"vocab"` // per-feature values in id order
+	XMean    []float64         `json:"xmean"`
+	XStd     []float64         `json:"xstd"`
+	YMu      float64           `json:"ymu"`
+	YSigma   float64           `json:"ysigma"`
+	Baseline *quality.Baseline `json:"baseline,omitempty"`
 }
 
 // AttachArtifacts embeds the serving artifacts into a snapshot's metadata so
 // the snapshot alone suffices to stand up a predictor. The training pipeline
-// calls this before publishing to the registry.
-func AttachArtifacts(snap *nn.Snapshot, cfg core.Config, schema *envmeta.Schema, std *dataset.Standardizer, ys dataset.YScaler) error {
-	a := artifacts{Config: cfg, Vocab: make([][]string, envmeta.NumFeatures), YMu: ys.Mu, YSigma: ys.Sigma}
+// calls this before publishing to the registry. baseline may be nil (older
+// training runs); the quality monitor then self-calibrates per environment.
+func AttachArtifacts(snap *nn.Snapshot, cfg core.Config, schema *envmeta.Schema, std *dataset.Standardizer, ys dataset.YScaler, baseline *quality.Baseline) error {
+	a := artifacts{Config: cfg, Vocab: make([][]string, envmeta.NumFeatures), YMu: ys.Mu, YSigma: ys.Sigma, Baseline: baseline}
 	for k, v := range schema.Vocabs {
 		a.Vocab[k] = v.Values()
 	}
@@ -67,6 +72,10 @@ type Bundle struct {
 	Schema  *envmeta.Schema
 	Std     *dataset.Standardizer
 	YScale  dataset.YScaler
+	// Baseline is the training-time prediction-error distribution (nil when
+	// the snapshot predates baselines); the quality monitor thresholds live
+	// errors against it.
+	Baseline *quality.Baseline
 }
 
 // BundleFromSnapshot reconstructs a serving bundle from a snapshot that
@@ -95,11 +104,12 @@ func BundleFromSnapshot(name string, version int, snap *nn.Snapshot) (*Bundle, e
 		return nil, fmt.Errorf("serve: restore weights: %w", err)
 	}
 	b := &Bundle{
-		Name:    name,
-		Version: version,
-		Model:   model,
-		Schema:  schema,
-		YScale:  dataset.YScaler{Mu: a.YMu, Sigma: a.YSigma},
+		Name:     name,
+		Version:  version,
+		Model:    model,
+		Schema:   schema,
+		YScale:   dataset.YScaler{Mu: a.YMu, Sigma: a.YSigma},
+		Baseline: a.Baseline,
 	}
 	if len(a.XMean) > 0 {
 		b.Std = &dataset.Standardizer{Mean: a.XMean, Std: a.XStd}

@@ -3,9 +3,11 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -157,11 +159,20 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics status %d", resp.StatusCode)
 	}
-	series, err := tsdb.ParseExposition(resp.Body, 0)
+	// Served traffic leaves request-id exemplars on the latency buckets,
+	// and the page must still parse as exposition text with them present.
+	if !strings.Contains(string(page), `# {request_id="`) {
+		t.Fatalf("no exemplar suffix on the metrics page:\n%s", page)
+	}
+	series, err := tsdb.ParseExposition(bytes.NewReader(page), 0)
 	if err != nil {
 		t.Fatalf("metrics page is not valid exposition format: %v", err)
 	}

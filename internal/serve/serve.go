@@ -16,6 +16,7 @@ import (
 	"env2vec/internal/envmeta"
 	"env2vec/internal/nn"
 	"env2vec/internal/obs"
+	"env2vec/internal/quality"
 	"env2vec/internal/stats"
 	"env2vec/internal/tensor"
 )
@@ -42,6 +43,24 @@ type Config struct {
 	// MinCalibration is how many error samples a chain needs before
 	// verdicts fire (default 8); until then responses carry no verdict.
 	MinCalibration int
+
+	// Quality, when non-nil, enables the online model-quality monitor:
+	// every observed request (inline Actual or follow-up POST /observe)
+	// feeds per-environment rolling error statistics that are compared
+	// against the bundle's training-time baseline; sustained drift raises
+	// alarms. The monitor also serves GET /quality.
+	Quality *quality.Config
+	// AlarmSink, when non-nil, receives the monitor's drift alarms through
+	// an async bounded queue (see AlarmAsync). Nil keeps alarms local:
+	// counted, reported at /quality, but delivered nowhere.
+	AlarmSink quality.Sink
+	// AlarmAsync tunes the asynchronous alarm pusher wrapped around
+	// AlarmSink: queue depth, retries, backoff.
+	AlarmAsync quality.AsyncConfig
+	// PendingCap bounds the request-id → prediction map backing POST
+	// /observe (default 4096). Oldest entries are evicted first; observing
+	// an evicted id returns 404.
+	PendingCap int
 
 	// Obs, when non-nil, is the metrics registry the server instruments
 	// itself into; nil gets a private registry. Either way the metrics are
@@ -93,7 +112,10 @@ type Response struct {
 	BatchSize    int      `json:"batch_size"` // size of the forward pass that served this request
 	Anomalous    *bool    `json:"anomalous,omitempty"`
 	Deviation    *float64 `json:"deviation,omitempty"` // |prediction−actual|, with a verdict
-	Trace        *Trace   `json:"trace,omitempty"`
+	// Quality is the model-quality monitor's verdict, present when the
+	// monitor is enabled and the request carried an inline Actual.
+	Quality *quality.Verdict `json:"quality,omitempty"`
+	Trace   *Trace           `json:"trace,omitempty"`
 }
 
 // Trace is the per-request timing breakdown: where this request's latency
@@ -168,6 +190,22 @@ type Server struct {
 
 	calMu sync.Mutex
 	cal   map[string]*calibration
+
+	// Model-quality monitoring (nil when Config.Quality is nil).
+	monitor *quality.Monitor
+	pusher  *quality.Async
+
+	// pending maps request ids of unobserved predictions to what POST
+	// /observe needs to close the loop; bounded FIFO eviction at PendingCap.
+	pendMu    sync.Mutex
+	pending   map[string]pendingPrediction
+	pendOrder []string
+}
+
+// pendingPrediction is one served prediction awaiting ground truth.
+type pendingPrediction struct {
+	env  envmeta.Environment
+	pred float64
 }
 
 // New starts the batching and worker goroutines and returns a server with
@@ -187,6 +225,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MinCalibration <= 0 {
 		cfg.MinCalibration = 8
+	}
+	if cfg.PendingCap <= 0 {
+		cfg.PendingCap = 4096
 	}
 	if cfg.Detect != nil && cfg.Detect.Gamma <= 0 {
 		panic(fmt.Sprintf("serve: detection gamma must be positive, got %v", cfg.Detect.Gamma))
@@ -228,8 +269,21 @@ func New(cfg Config) *Server {
 		}
 		return 0
 	})
+	if cfg.Quality != nil {
+		if cfg.AlarmSink != nil {
+			ac := cfg.AlarmAsync
+			if ac.Logger == nil {
+				ac.Logger = logger
+			}
+			s.pusher = quality.NewAsync(cfg.AlarmSink, ac, reg)
+		}
+		s.monitor = quality.NewMonitor(*cfg.Quality, reg, s.pusher)
+		s.pending = make(map[string]pendingPrediction)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/observe", s.handleObserve)
+	s.mux.HandleFunc("/quality", s.handleQuality)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statz", s.handleStatz)
 	s.mux.Handle("/metrics", reg)
@@ -256,7 +310,14 @@ func (s *Server) SetBundle(b *Bundle) {
 	} else {
 		s.log.Info("model loaded", "model", b.Name, "version", b.Version)
 	}
+	if s.monitor != nil {
+		s.monitor.SetBaseline(b.Baseline)
+	}
 }
+
+// Quality returns the model-quality monitor (nil when Config.Quality was
+// nil), so the embedding daemon can snapshot it directly.
+func (s *Server) Quality() *quality.Monitor { return s.monitor }
 
 // Bundle returns the currently served model bundle (nil before the first
 // SetBundle).
@@ -278,6 +339,9 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	close(s.queue)
 	s.wg.Wait()
+	if s.pusher != nil {
+		s.pusher.Close() // drain queued alarms after the last batch ran
+	}
 }
 
 // Errors distinguishing Do outcomes; the HTTP handler maps them to codes.
@@ -382,7 +446,7 @@ func (s *Server) runBatch(items []*item) {
 		} else {
 			s.served.Inc()
 			total := time.Since(it.enq)
-			s.latency.Observe(obs.MS(total))
+			s.latency.ObserveExemplar(obs.MS(total), it.id)
 			if resp.Trace != nil {
 				resp.Trace.TotalMS = obs.MS(total)
 			}
@@ -457,9 +521,9 @@ func (s *Server) runBatch(items []*item) {
 	fwdMS := obs.MS(time.Since(start))
 	for i, it := range valid {
 		queueMS, lingerMS := obs.MS(it.deq.Sub(it.enq)), obs.MS(start.Sub(it.deq))
-		s.stageQueue.Observe(queueMS)
-		s.stageLinger.Observe(lingerMS)
-		s.stageFwd.Observe(fwdMS)
+		s.stageQueue.ObserveExemplar(queueMS, it.id)
+		s.stageLinger.ObserveExemplar(lingerMS, it.id)
+		s.stageFwd.ObserveExemplar(fwdMS, it.id)
 		resp := &Response{
 			Prediction:   preds[i],
 			Model:        b.Name,
@@ -476,8 +540,50 @@ func (s *Server) runBatch(items []*item) {
 		if s.cfg.Detect != nil && it.req.Actual != nil {
 			s.scoreAnomaly(it.req, preds[i], resp)
 		}
+		if s.monitor != nil {
+			env := envmeta.Environment{
+				Testbed: it.req.Testbed, SUT: it.req.SUT,
+				Testcase: it.req.Testcase, Build: it.req.Build,
+			}
+			if it.req.Actual != nil {
+				// Ground truth arrived inline: feed the monitor now, no
+				// pending entry to keep.
+				v := s.monitor.Observe(env, it.id, preds[i], *it.req.Actual, time.Now().Unix())
+				resp.Quality = &v
+			} else {
+				s.rememberPending(it.id, env, preds[i])
+			}
+		}
 		finish(it, resp, http.StatusOK, nil)
 	}
+}
+
+// rememberPending records a served-but-unobserved prediction so a later
+// POST /observe can attribute its ground truth; the map is bounded by
+// PendingCap with oldest-first eviction.
+func (s *Server) rememberPending(id string, env envmeta.Environment, pred float64) {
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	if _, exists := s.pending[id]; !exists {
+		for len(s.pending) >= s.cfg.PendingCap && len(s.pendOrder) > 0 {
+			old := s.pendOrder[0]
+			s.pendOrder = s.pendOrder[1:]
+			delete(s.pending, old) // no-op if already observed
+		}
+		s.pendOrder = append(s.pendOrder, id)
+	}
+	s.pending[id] = pendingPrediction{env: env, pred: pred}
+}
+
+// takePending removes and returns the pending prediction for a request id.
+func (s *Server) takePending(id string) (pendingPrediction, bool) {
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	p, ok := s.pending[id]
+	if ok {
+		delete(s.pending, id)
+	}
+	return p, ok
 }
 
 func done(it *item) bool {
@@ -585,4 +691,74 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(s.Stats())
+}
+
+// ObserveRequest is the POST /observe payload: ground truth for an earlier
+// prediction, keyed by its request id.
+type ObserveRequest struct {
+	RequestID string  `json:"request_id"`
+	Actual    float64 `json:"actual"`
+	// At is the observation time in unix seconds (alarm attribution);
+	// 0 means now.
+	At int64 `json:"at,omitempty"`
+}
+
+// ObserveResponse echoes the quality verdict for the closed loop.
+type ObserveResponse struct {
+	Quality quality.Verdict `json:"quality"`
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	if s.monitor == nil {
+		jsonError(w, http.StatusServiceUnavailable, "quality monitor disabled")
+		return
+	}
+	var req ObserveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "invalid request: "+err.Error())
+		return
+	}
+	if req.RequestID == "" {
+		jsonError(w, http.StatusBadRequest, "request_id is required")
+		return
+	}
+	p, ok := s.takePending(req.RequestID)
+	if !ok {
+		jsonError(w, http.StatusNotFound, "unknown or expired request id")
+		return
+	}
+	at := req.At
+	if at == 0 {
+		at = time.Now().Unix()
+	}
+	v := s.monitor.Observe(p.env, req.RequestID, p.pred, req.Actual, at)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(ObserveResponse{Quality: v})
+}
+
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	if s.monitor == nil {
+		jsonError(w, http.StatusServiceUnavailable, "quality monitor disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.monitor.Snapshot())
+}
+
+// jsonError writes an {"error": ...} body, matching the alarm store's error
+// shape so clients parse one format everywhere.
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }

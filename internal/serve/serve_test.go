@@ -16,6 +16,7 @@ import (
 	"env2vec/internal/dataset"
 	"env2vec/internal/envmeta"
 	"env2vec/internal/nn"
+	"env2vec/internal/quality"
 	"env2vec/internal/tensor"
 )
 
@@ -76,8 +77,9 @@ func directPredict(b *Bundle, req *Request) float64 {
 
 func TestBundleSnapshotRoundTrip(t *testing.T) {
 	b := testBundle(3, 1)
+	b.Baseline = &quality.Baseline{Mu: 0.4, Sigma: 2.5, Samples: 321}
 	snap := b.Model.Snapshot()
-	if err := AttachArtifacts(snap, b.Model.Config(), b.Schema, b.Std, b.YScale); err != nil {
+	if err := AttachArtifacts(snap, b.Model.Config(), b.Schema, b.Std, b.YScale, b.Baseline); err != nil {
 		t.Fatal(err)
 	}
 	// Serialize through gob like the registry does.
@@ -92,6 +94,9 @@ func TestBundleSnapshotRoundTrip(t *testing.T) {
 	restored, err := BundleFromSnapshot("test", 1, decoded)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if restored.Baseline == nil || *restored.Baseline != *b.Baseline {
+		t.Fatalf("error baseline lost in round trip: %+v", restored.Baseline)
 	}
 	rng := rand.New(rand.NewSource(4))
 	for i := 0; i < 10; i++ {

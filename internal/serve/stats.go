@@ -3,6 +3,8 @@ package serve
 import (
 	"strconv"
 	"time"
+
+	"env2vec/internal/obs"
 )
 
 // batchBounds are the upper bounds of the batch-size histogram buckets;
@@ -14,8 +16,13 @@ var batchBounds = []float64{1, 2, 4, 8, 16, 32, 64}
 // the same obs metrics served at /metrics; /statz is their JSON projection
 // and stays backward-compatible with the pre-obs shape.
 type Stats struct {
-	Model         string  `json:"model"`
-	ModelVersion  int     `json:"model_version"`
+	Model        string `json:"model"`
+	ModelVersion int    `json:"model_version"`
+	// ModelIn and ModelWindow are the loaded model's input arity (contextual
+	// features) and RU-history window, so load generators can shape valid
+	// requests from /statz alone.
+	ModelIn       int     `json:"model_in"`
+	ModelWindow   int     `json:"model_window"`
 	Workers       int     `json:"workers"`
 	MaxBatch      int     `json:"max_batch"`
 	MaxLingerMS   float64 `json:"max_linger_ms"`
@@ -39,6 +46,11 @@ type Stats struct {
 	QueueWaitP99MS float64 `json:"queue_wait_p99_ms"`
 	LingerP99MS    float64 `json:"linger_p99_ms"`
 	ForwardP99MS   float64 `json:"forward_p99_ms"`
+
+	// LatencyExemplars link each end-to-end latency bucket to the request id
+	// last observed in it, so a bad p99 bucket leads straight to a concrete
+	// request trace.
+	LatencyExemplars []obs.BucketExemplar `json:"latency_exemplars,omitempty"`
 }
 
 // Stats snapshots the server's counters.
@@ -58,6 +70,8 @@ func (s *Server) Stats() Stats {
 	}
 	if b := s.bundle.Load(); b != nil {
 		st.Model, st.ModelVersion = b.Name, b.Version
+		cfg := b.Model.Config()
+		st.ModelIn, st.ModelWindow = cfg.In, cfg.Window
 	}
 	bounds, counts := s.batchSizes.Snapshot()
 	lo := 1
@@ -81,5 +95,6 @@ func (s *Server) Stats() Stats {
 	st.QueueWaitP99MS = s.stageQueue.Quantile(0.99)
 	st.LingerP99MS = s.stageLinger.Quantile(0.99)
 	st.ForwardP99MS = s.stageFwd.Quantile(0.99)
+	st.LatencyExemplars = s.latency.Exemplars()
 	return st
 }

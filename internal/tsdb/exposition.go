@@ -14,7 +14,8 @@ import (
 //
 //	metric_name{label="value",other="v2"} 12.5 [timestamp]
 //
-// Comment lines (#) and blank lines are skipped. The metric name is added
+// Comment lines (#), blank lines, and OpenMetrics exemplar suffixes
+// (`value # {request_id="..."} 1.2`) are skipped. The metric name is added
 // to the returned label set under the key "__name__". Timestamps are unix
 // seconds; when omitted, defaultTime is used.
 func ParseExposition(r io.Reader, defaultTime int64) ([]Series, error) {
@@ -71,6 +72,13 @@ func parseLine(line string, defaultTime int64) (Labels, float64, int64, error) {
 			return nil, 0, 0, err
 		}
 		rest = strings.TrimSpace(rest[close+1:])
+	}
+
+	// Drop an OpenMetrics-style exemplar suffix (`# {labels} value`): the
+	// label set is already consumed above, so any remaining '#' starts an
+	// exemplar, which this parser tolerates but does not store.
+	if i := strings.IndexByte(rest, '#'); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
 	}
 
 	fields := strings.Fields(rest)

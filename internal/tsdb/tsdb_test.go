@@ -380,3 +380,23 @@ func TestScraperRunStopsOnCancel(t *testing.T) {
 		t.Fatalf("Run did not stop on cancel")
 	}
 }
+
+func TestParseExpositionExemplarSuffix(t *testing.T) {
+	input := `latency_ms_bucket{le="10"} 7 # {request_id="abc123"} 5.2
+latency_ms_bucket{le="+Inf"} 9 1234 # {request_id="def456"} 99
+`
+	series, err := ParseExposition(strings.NewReader(input), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series count %d: %+v", len(series), series)
+	}
+	if series[0].Samples[0].V != 7 || series[0].Samples[0].T != 77 {
+		t.Fatalf("exemplar suffix corrupted sample: %+v", series[0].Samples[0])
+	}
+	// A timestamp before the exemplar still parses.
+	if series[1].Samples[0].V != 9 || series[1].Samples[0].T != 1234 {
+		t.Fatalf("timestamp+exemplar sample wrong: %+v", series[1].Samples[0])
+	}
+}
