@@ -1,0 +1,94 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON array on stdout, one object per benchmark:
+//
+//	[{"op":"ForwardInfer_B8W20","ns_per_op":52340.0,"bytes_per_op":96,"allocs_per_op":2}]
+//
+// docs/reproduce.sh uses it to commit machine-readable before/after numbers
+// for the fused inference path (docs/outputs/BENCH_infer.json); any bench
+// output works. Lines that are not benchmark results are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Op is the benchmark name without the "Benchmark" prefix or the
+	// "-GOMAXPROCS" suffix.
+	Op         string  `json:"op"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are -1 when the run lacked -benchmem.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Op: name, Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	// Remaining fields come in value/unit pairs: 52340 ns/op 96 B/op 2 allocs/op.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v := fields[i]
+		switch fields[i+1] {
+		case "ns/op":
+			if r.NsPerOp, err = strconv.ParseFloat(v, 64); err != nil {
+				return Result{}, false
+			}
+		case "B/op":
+			if r.BytesPerOp, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return Result{}, false
+			}
+		case "allocs/op":
+			if r.AllocsPerOp, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return Result{}, false
+			}
+		}
+	}
+	if r.NsPerOp == 0 {
+		return Result{}, false
+	}
+	return r, true
+}
+
+func convert(in io.Reader, out io.Writer) error {
+	results := []Result{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+func main() {
+	if err := convert(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: env2vec/internal/infer
+cpu: some CPU
+BenchmarkForwardTape_B8W20-8     	    2000	    612345 ns/op	  345678 B/op	    4321 allocs/op
+BenchmarkForwardInfer_B8W20-8    	   20000	     52340 ns/op	      96 B/op	       2 allocs/op
+BenchmarkNoMem-4                 	    1000	      1234 ns/op
+PASS
+ok  	env2vec/internal/infer	3.456s
+`
+
+func TestConvert(t *testing.T) {
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var got []Result
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	want := []Result{
+		{Op: "ForwardTape_B8W20", Iterations: 2000, NsPerOp: 612345, BytesPerOp: 345678, AllocsPerOp: 4321},
+		{Op: "ForwardInfer_B8W20", Iterations: 20000, NsPerOp: 52340, BytesPerOp: 96, AllocsPerOp: 2},
+		{Op: "NoMem", Iterations: 1000, NsPerOp: 1234, BytesPerOp: -1, AllocsPerOp: -1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvertEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := convert(strings.NewReader("no benchmarks here\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(out.String()); s != "[]" {
+		t.Fatalf("want empty array, got %q", s)
+	}
+}

@@ -23,5 +23,12 @@ go test -run 'MetricsScrape' ./cmd/e2vserve/ ./cmd/tsdbd/
 go test -run 'QualityLoop|ObserveClosesTheLoop' ./internal/serve/
 # Load harness drives a live server and reads back /statz stage p99s.
 go test -run 'LoadGenerator' ./cmd/e2vload/
+# The fused inference path: race-prove the scratch-arena pool and the
+# tape/infer parity property, then commit machine-readable before/after
+# numbers (ns/op and allocs/op, fused vs tape) — see docs/performance.md.
+go test -race ./internal/infer/ ./internal/core/
+go test -run '^$' -bench 'Forward(Tape|Infer)' -benchmem -count 1 ./internal/infer/ \
+    | tee docs/outputs/bench_infer.txt \
+    | go run ./cmd/benchjson > docs/outputs/BENCH_infer.json
 go run ./cmd/kdnbench -seeds 2 | tee docs/outputs/kdnbench.txt
 go run ./cmd/telecombench -slow -csv docs/outputs/figures | tee docs/outputs/telecombench.txt

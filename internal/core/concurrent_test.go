@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"env2vec/internal/envmeta"
+	"env2vec/internal/nn"
 )
 
 // TestPredictConcurrent exercises the inference-tape path: many goroutines
@@ -37,6 +38,50 @@ func TestPredictConcurrent(t *testing.T) {
 				}
 			}
 		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// TestPredictConcurrentMixedBatches stresses the fused path's scratch-arena
+// pool: goroutines predicting at different batch sizes force arenas to be
+// recycled across differently shaped passes (growth, chunk reuse, header
+// reuse). Run with -race; any cross-pass sharing of scratch shows up as a
+// data race or a numeric divergence.
+func TestPredictConcurrentMixedBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	schema := envmeta.NewSchema()
+	m := New(smallConfig(), schema)
+
+	sizes := []int{1, 3, 8, 32, 64}
+	batches := make([]*nn.Batch, len(sizes))
+	want := make([][]float64, len(sizes))
+	for i, n := range sizes {
+		batches[i] = twoEnvBatch(rng, schema, n, 1.5)
+		want[i] = m.Predict(batches[i])
+	}
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 10; iter++ {
+				k := (g + iter) % len(sizes)
+				got := m.Predict(batches[k])
+				for i := range got {
+					if math.Abs(got[i]-want[k][i]) > 1e-12 {
+						errs <- "mixed-batch concurrent prediction diverged"
+						return
+					}
+				}
+			}
+		}(g)
 	}
 	wg.Wait()
 	close(errs)

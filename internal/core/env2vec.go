@@ -26,6 +26,7 @@ import (
 
 	"env2vec/internal/autodiff"
 	"env2vec/internal/envmeta"
+	"env2vec/internal/infer"
 	"env2vec/internal/nn"
 	"env2vec/internal/tensor"
 )
@@ -102,6 +103,11 @@ type Model struct {
 	attention *nn.Attention // non-nil when cfg.Attention
 	bilinear  *nn.Param     // R matrix when cfg.Head == HeadBilinear
 	headMLP   *nn.MLP       // when cfg.Head == HeadMLP
+
+	// pred is the tape-free fused forward path used by Predict. It reads
+	// the live layer weights on every call, so it needs no refresh after
+	// optimizer steps or snapshot restores.
+	pred *infer.Predictor
 }
 
 // New builds the model. Vocabulary sizes are taken from the schema, which
@@ -143,7 +149,31 @@ func New(cfg Config, schema *envmeta.Schema) *Model {
 	default:
 		panic(fmt.Sprintf("core: unknown prediction head %d", int(cfg.Head)))
 	}
+	m.pred = infer.NewPredictor(m.network())
 	return m
+}
+
+// network maps the model's layers into the tape-free inference path's view
+// of the architecture.
+func (m *Model) network() infer.Network {
+	net := infer.Network{
+		FNNHidden:  m.fnn.Hidden,
+		GRU:        m.gru,
+		Dense:      m.dense,
+		Embeddings: m.embeddings[:],
+		Attention:  m.attention,
+	}
+	switch m.cfg.Head {
+	case HeadBilinear:
+		net.Head = infer.HeadBilinear
+		net.Bilinear = m.bilinear.Value
+	case HeadMLP:
+		net.Head = infer.HeadMLP
+		net.HeadMLP = m.headMLP
+	default:
+		net.Head = infer.HeadHadamard
+	}
+	return net
 }
 
 // Config returns the model's configuration.
@@ -213,11 +243,25 @@ func (m *Model) Loss(t *autodiff.Tape, b *nn.Batch, train bool, rng *rand.Rand) 
 	return t.MSE(m.forward(t, b, train, rng), b.Y)
 }
 
-// Predict implements nn.Model. The forward pass runs on an inference tape
-// (parameters bound as read-only constants), so one trained model may be
-// shared by any number of concurrently predicting goroutines — the online
-// serving path batches many requests into a single call here.
+// Predict implements nn.Model. It runs the tape-free fused forward path
+// (internal/infer), which reads the layer weights in place and recycles its
+// scratch space, so one trained model may be shared by any number of
+// concurrently predicting goroutines — the online serving path batches many
+// requests into a single call here. PredictTape keeps the graph-based path
+// available as the reference implementation; the two agree to float64
+// round-off (see the parity tests).
 func (m *Model) Predict(b *nn.Batch) []float64 {
+	if b.EnvIDs == nil {
+		panic("core: Env2Vec requires environment ids in the batch")
+	}
+	return m.pred.Predict(b)
+}
+
+// PredictTape is the original inference-tape forward pass, retained as the
+// slow-but-obviously-correct reference for Predict: it reuses the exact
+// graph construction training uses (minus recording), so parity tests can
+// hold the fused path to it.
+func (m *Model) PredictTape(b *nn.Batch) []float64 {
 	t := autodiff.NewInferenceTape()
 	pred := m.forward(t, b, false, nil)
 	out := make([]float64, pred.Value.Rows)

@@ -1,0 +1,79 @@
+package infer
+
+import "env2vec/internal/tensor"
+
+// arena is a per-forward-pass scratch allocator: a chunked bump allocator
+// over []float64 backing storage plus a recycled pool of Matrix headers.
+// Views carved from it are valid until the next reset, so one forward pass
+// owns the whole arena and steady-state prediction allocates nothing — the
+// chunks and headers grown on the first pass at a given batch size are
+// reused by every later pass.
+//
+// Arenas are NOT safe for concurrent use; the Predictor hands each forward
+// pass a private one from a sync.Pool.
+type arena struct {
+	chunks [][]float64
+	chunk  int // chunk currently being carved
+	off    int // carve offset inside chunks[chunk]
+
+	mats []*tensor.Matrix // recycled headers
+	used int
+
+	states []*tensor.Matrix // recycled per-step hidden-state list (attention)
+}
+
+// arenaChunk is the minimum chunk size; large requests get their own chunk.
+const arenaChunk = 4096
+
+// reset rewinds the arena; previously carved views become dead.
+func (a *arena) reset() {
+	a.chunk, a.off, a.used = 0, 0, 0
+	a.states = a.states[:0]
+}
+
+func (a *arena) header() *tensor.Matrix {
+	if a.used < len(a.mats) {
+		m := a.mats[a.used]
+		a.used++
+		return m
+	}
+	m := &tensor.Matrix{}
+	a.mats = append(a.mats, m)
+	a.used++
+	return m
+}
+
+// mat carves an uninitialized rows×cols matrix view. Callers must fully
+// overwrite it (or Zero it) before reading.
+func (a *arena) mat(rows, cols int) *tensor.Matrix {
+	need := rows * cols
+	for {
+		if a.chunk < len(a.chunks) {
+			c := a.chunks[a.chunk]
+			if a.off+need <= len(c) {
+				m := a.header()
+				m.Rows, m.Cols, m.Data = rows, cols, c[a.off:a.off+need:a.off+need]
+				a.off += need
+				return m
+			}
+			// Doesn't fit here; leave the remainder and move on. The skipped
+			// tail is reclaimed by the next reset.
+			a.chunk++
+			a.off = 0
+			continue
+		}
+		size := need
+		if size < arenaChunk {
+			size = arenaChunk
+		}
+		a.chunks = append(a.chunks, make([]float64, size))
+	}
+}
+
+// view wraps existing storage in a recycled header without copying — used to
+// reinterpret a batch×n window as a (batch·n)×1 step sequence.
+func (a *arena) view(rows, cols int, data []float64) *tensor.Matrix {
+	m := a.header()
+	m.Rows, m.Cols, m.Data = rows, cols, data
+	return m
+}

@@ -1,0 +1,69 @@
+package infer
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// overlaps reports whether two float64 slices share any backing elements.
+func overlaps(a, b []float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	const sz = unsafe.Sizeof(float64(0))
+	alo := uintptr(unsafe.Pointer(&a[0]))
+	blo := uintptr(unsafe.Pointer(&b[0]))
+	return alo < blo+uintptr(len(b))*sz && blo < alo+uintptr(len(a))*sz
+}
+
+func TestArenaViewsDisjoint(t *testing.T) {
+	a := &arena{}
+	a.reset()
+	// Mix of sizes, including one larger than a chunk so growth paths run.
+	shapes := [][2]int{{4, 8}, {1, 1}, {100, 50}, {3, 3}, {64, 70}, {2, arenaChunk}}
+	mats := make([][]float64, 0, len(shapes))
+	for _, s := range shapes {
+		m := a.mat(s[0], s[1])
+		if m.Rows != s[0] || m.Cols != s[1] || len(m.Data) != s[0]*s[1] {
+			t.Fatalf("mat(%d,%d) has shape %dx%d len %d", s[0], s[1], m.Rows, m.Cols, len(m.Data))
+		}
+		for i := range m.Data {
+			m.Data[i] = float64(len(mats))
+		}
+		mats = append(mats, m.Data)
+	}
+	for i := range mats {
+		for j := i + 1; j < len(mats); j++ {
+			if overlaps(mats[i], mats[j]) {
+				t.Fatalf("views %d and %d share storage", i, j)
+			}
+		}
+		for _, v := range mats[i] {
+			if v != float64(i) {
+				t.Fatalf("view %d was overwritten by a later carve", i)
+			}
+		}
+	}
+}
+
+func TestArenaResetReuses(t *testing.T) {
+	a := &arena{}
+	carve := func() {
+		a.reset()
+		a.mat(8, 8)
+		a.mat(100, 50)
+		a.mat(2, arenaChunk)
+		a.view(4, 2, make([]float64, 8))
+	}
+	carve()
+	chunks, headers := len(a.chunks), len(a.mats)
+	for i := 0; i < 10; i++ {
+		carve()
+	}
+	if len(a.chunks) != chunks {
+		t.Fatalf("steady-state carving grew chunks %d → %d", chunks, len(a.chunks))
+	}
+	if len(a.mats) != headers {
+		t.Fatalf("steady-state carving grew headers %d → %d", headers, len(a.mats))
+	}
+}

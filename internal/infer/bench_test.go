@@ -1,0 +1,119 @@
+// Benchmarks and allocation tests comparing the fused tape-free forward
+// path against the inference-tape reference. They live in an external test
+// package so they can assemble real core.Model instances without creating
+// an import cycle (core imports infer; test binaries may import both).
+//
+// Run with:
+//
+//	go test -bench 'Forward(Tape|Infer)' -benchmem ./internal/infer/
+package infer_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"env2vec/internal/core"
+	"env2vec/internal/envmeta"
+	"env2vec/internal/nn"
+	"env2vec/internal/tensor"
+)
+
+// benchModel builds the paper-sized Env2Vec network (64 FNN units, 32 GRU
+// units, embedding dim 10) over a window-20 RU history.
+func benchModel(window int) (*core.Model, *envmeta.Schema) {
+	schema := envmeta.NewSchema()
+	for i := 0; i < 4; i++ {
+		schema.Observe(envmeta.Environment{
+			Testbed:  fmt.Sprintf("tb%d", i),
+			SUT:      fmt.Sprintf("sut%d", i),
+			Testcase: fmt.Sprintf("tc%d", i),
+			Build:    fmt.Sprintf("b%d", i),
+		})
+	}
+	cfg := core.Config{In: 8, Hidden: 64, GRUHidden: 32, EmbedDim: 10, Window: window, Seed: 1}
+	return core.New(cfg, schema), schema
+}
+
+func benchBatch(rng *rand.Rand, schema *envmeta.Schema, n, in, window int) *nn.Batch {
+	sizes := schema.Sizes()
+	b := &nn.Batch{
+		X:      tensor.New(n, in),
+		Window: tensor.New(n, window),
+		Y:      tensor.New(n, 1),
+		EnvIDs: make([][]int, envmeta.NumFeatures),
+	}
+	b.X.RandNormal(rng, 1)
+	b.Window.RandNormal(rng, 1)
+	for k := range b.EnvIDs {
+		b.EnvIDs[k] = make([]int, n)
+		for i := range b.EnvIDs[k] {
+			b.EnvIDs[k][i] = rng.Intn(sizes[k] + 1)
+		}
+	}
+	return b
+}
+
+// TestInferAllocations asserts the headline property: steady-state fused
+// prediction allocates a small constant (the returned slice plus pool
+// bookkeeping), at least 4× below the tape path's per-op graph allocations.
+// The bound is deliberately loose — GC can steal pooled arenas mid-run — but
+// far tighter than the real gap (tape allocates thousands of objects here).
+func TestInferAllocations(t *testing.T) {
+	m, schema := benchModel(20)
+	rng := rand.New(rand.NewSource(2))
+	b := benchBatch(rng, schema, 8, 8, 20)
+	m.Predict(b) // warm the arena pool
+
+	inferAllocs := testing.AllocsPerRun(50, func() { m.Predict(b) })
+	tapeAllocs := testing.AllocsPerRun(50, func() { m.PredictTape(b) })
+	t.Logf("allocs/op: infer %.1f, tape %.1f", inferAllocs, tapeAllocs)
+	if inferAllocs >= tapeAllocs/4 {
+		t.Fatalf("fused path allocates %.1f/op vs tape %.1f/op; want ≥4× reduction", inferAllocs, tapeAllocs)
+	}
+}
+
+func benchForward(b *testing.B, batch int, window int, predict func(m *core.Model, bt *nn.Batch) []float64) {
+	m, schema := benchModel(window)
+	rng := rand.New(rand.NewSource(2))
+	bt := benchBatch(rng, schema, batch, 8, window)
+	predict(m, bt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		predict(m, bt)
+	}
+}
+
+func BenchmarkForwardTape_B8W20(b *testing.B) {
+	benchForward(b, 8, 20, (*core.Model).PredictTape)
+}
+
+func BenchmarkForwardInfer_B8W20(b *testing.B) {
+	benchForward(b, 8, 20, (*core.Model).Predict)
+}
+
+func BenchmarkForwardTape_B32W20(b *testing.B) {
+	benchForward(b, 32, 20, (*core.Model).PredictTape)
+}
+
+func BenchmarkForwardInfer_B32W20(b *testing.B) {
+	benchForward(b, 32, 20, (*core.Model).Predict)
+}
+
+// BenchmarkForwardInferParallel measures the serving steady state: many
+// goroutines sharing one model, each drawing a private scratch arena from
+// the pool.
+func BenchmarkForwardInferParallel_B8W20(b *testing.B) {
+	m, schema := benchModel(20)
+	rng := rand.New(rand.NewSource(2))
+	bt := benchBatch(rng, schema, 8, 8, 20)
+	m.Predict(bt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Predict(bt)
+		}
+	})
+}

@@ -134,7 +134,9 @@ func (g *GRU) ForwardWindowAll(t *autodiff.Tape, window *autodiff.Node) []*autod
 	h := t.Constant(tensor.New(batch, g.Hidden))
 	out := make([]*autodiff.Node, 0, n)
 	for j := 0; j < n; j++ {
-		x := t.Constant(window.Value.SliceCols(j, j+1))
+		// As in ForwardWindow, slice through the tape so gradients reach a
+		// non-constant window producer.
+		x := t.SliceColsNode(window, j, j+1)
 		z := t.Sigmoid(t.AddRowBroadcast(t.Add(t.MatMul(x, wz), t.MatMul(h, uz)), bz))
 		r := t.Sigmoid(t.AddRowBroadcast(t.Add(t.MatMul(x, wr), t.MatMul(h, ur)), br))
 		hc := g.CandidateAct.Apply(t, t.AddRowBroadcast(t.Add(t.MatMul(x, wh), t.MatMul(t.Mul(r, h), uh)), bh))

@@ -180,15 +180,13 @@ func (g *GRU) ForwardWindow(t *autodiff.Tape, window *autodiff.Node) *autodiff.N
 	n := window.Value.Cols
 	steps := make([]*autodiff.Node, n)
 	for j := 0; j < n; j++ {
-		steps[j] = sliceColsNode(t, window, j, j+1)
+		// SliceColsNode keeps the gradient path to the window intact: a
+		// non-constant upstream producer (e.g. a learned input transform)
+		// receives its gradients, while a constant window adds no backward
+		// cost and an inference tape records nothing at all.
+		steps[j] = t.SliceColsNode(window, j, j+1)
 	}
 	return g.Forward(t, steps)
-}
-
-// sliceColsNode extracts columns [from,to) as a constant view for graph
-// inputs; window inputs are constants, so no gradient path is needed.
-func sliceColsNode(t *autodiff.Tape, x *autodiff.Node, from, to int) *autodiff.Node {
-	return t.Constant(x.Value.SliceCols(from, to))
 }
 
 // Params implements Layer.

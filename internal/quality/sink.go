@@ -117,6 +117,7 @@ type Async struct {
 	sink  Sink
 	cfg   AsyncConfig
 	queue chan queuedAlarm
+	stop  chan struct{} // closed by Close; cancels backoff waits
 	wg    sync.WaitGroup
 
 	mu     sync.RWMutex
@@ -128,7 +129,7 @@ type Async struct {
 // NewAsync starts the delivery goroutine. The counters register into reg
 // (nil skips registration; the accessors still work).
 func NewAsync(sink Sink, cfg AsyncConfig, reg *obs.Registry) *Async {
-	a := &Async{sink: sink, cfg: cfg.withDefaults()}
+	a := &Async{sink: sink, cfg: cfg.withDefaults(), stop: make(chan struct{})}
 	a.queue = make(chan queuedAlarm, a.cfg.QueueDepth)
 	reg.CounterFunc("env2vec_quality_alarms_pushed_total", "Alarms delivered to the alarm store.", nil, a.pushed.Load)
 	reg.CounterFunc("env2vec_quality_alarms_dropped_total", "Alarms dropped on queue overflow or after exhausting retries.", nil, a.dropped.Load)
@@ -167,9 +168,20 @@ func (a *Async) run() {
 				break
 			}
 			a.errors.Add(1)
-			if attempt < a.cfg.Retries {
-				time.Sleep(backoff)
+			if attempt == a.cfg.Retries {
+				break
+			}
+			// The backoff wait must not outlive Close: against an unreachable
+			// store, an uncancellable sleep would stretch shutdown by the full
+			// exponential ladder for every queued alarm. Once stop closes, the
+			// waits are skipped but the attempts are not — deliverable alarms
+			// still drain at full retry fidelity.
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
 				backoff *= 2
+			case <-a.stop:
+				timer.Stop()
 			}
 		}
 		if err != nil {
@@ -182,7 +194,9 @@ func (a *Async) run() {
 }
 
 // Close stops admission, drains queued alarms through the sink (including
-// retries), and waits for delivery to finish.
+// retries), and waits for delivery to finish. Draining skips the backoff
+// waits: even with a permanently failing sink, Close returns within roughly
+// one backoff interval plus the time the remaining Push attempts take.
 func (a *Async) Close() {
 	a.mu.Lock()
 	if a.closed {
@@ -191,6 +205,7 @@ func (a *Async) Close() {
 	}
 	a.closed = true
 	a.mu.Unlock()
+	close(a.stop)
 	close(a.queue)
 	a.wg.Wait()
 }

@@ -157,3 +157,58 @@ func TestSinksDeliverToAlarmstore(t *testing.T) {
 		t.Fatal("push to dead store should fail")
 	}
 }
+
+// alwaysFailSink simulates a permanently unreachable alarm store.
+type alwaysFailSink struct {
+	attempts atomic.Uint64
+}
+
+func (s *alwaysFailSink) Push(anomaly.Alarm, int64) error {
+	s.attempts.Add(1)
+	return errors.New("store unreachable")
+}
+
+// TestAsyncCloseUnderFailingSink is the shutdown regression test: Close used
+// to sleep through the full exponential backoff ladder for every queued
+// alarm — with the config below that is 4 alarms × (300+600+...+9600)ms ≈
+// 76 s. Close must instead cancel the waits and return promptly while still
+// performing every retry attempt.
+func TestAsyncCloseUnderFailingSink(t *testing.T) {
+	sink := &alwaysFailSink{}
+	a := NewAsync(sink, AsyncConfig{
+		QueueDepth: 8,
+		Retries:    6,
+		Backoff:    300 * time.Millisecond,
+	}, nil)
+	const alarms = 4
+	for i := 0; i < alarms; i++ {
+		if !a.Push(anomaly.Alarm{ChainID: "down"}, 0) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		a.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Close blocked past its deadline against a failing sink")
+	}
+	// Bound: at most one full backoff interval of waiting (the in-flight
+	// alarm may have started a timer before stop closed) plus attempt time.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Close took %v, want well under the backoff ladder", elapsed)
+	}
+	// Draining must keep full retry fidelity: every alarm gets its initial
+	// attempt plus all retries even though the waits were skipped.
+	if got, want := sink.attempts.Load(), uint64(alarms*7); got != want {
+		t.Fatalf("sink saw %d attempts, want %d", got, want)
+	}
+	if a.Dropped() != alarms {
+		t.Fatalf("dropped %d, want %d", a.Dropped(), alarms)
+	}
+}

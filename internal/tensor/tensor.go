@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"unsafe"
 )
 
 // Matrix is a dense row-major matrix of float64 values.
@@ -132,10 +133,30 @@ func MatMul(a, b *Matrix) *Matrix {
 	return out
 }
 
+// overlap reports whether two float64 slices share any backing memory. The
+// pointer comparison covers only the addressable [0,len) ranges, so disjoint
+// views carved from one arena chunk are correctly reported as non-overlapping.
+func overlap(a, b []float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	const sz = unsafe.Sizeof(float64(0))
+	alo := uintptr(unsafe.Pointer(&a[0]))
+	blo := uintptr(unsafe.Pointer(&b[0]))
+	return alo < blo+uintptr(len(b))*sz && blo < alo+uintptr(len(a))*sz
+}
+
 // MatMulInto computes a × b into out, which must be preallocated a.Rows×b.Cols.
+// out must not alias a or b: the kernel zeroes out before accumulating, so an
+// aliased operand would be read after it was overwritten. The fused inference
+// kernels lean on this op heavily with arena-recycled scratch, where silent
+// aliasing corruption would be near-impossible to trace — so it fails loudly.
 func MatMulInto(out, a, b *Matrix) {
 	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
 		panic("tensor: MatMulInto shape mismatch")
+	}
+	if overlap(out.Data, a.Data) || overlap(out.Data, b.Data) {
+		panic("tensor: MatMulInto out aliases an operand")
 	}
 	out.Zero()
 	for i := 0; i < a.Rows; i++ {
@@ -192,6 +213,17 @@ func Mul(a, b *Matrix) *Matrix {
 		out.Data[i] = v * b.Data[i]
 	}
 	return out
+}
+
+// MulInto computes the Hadamard product a ⊙ b into out. Unlike MatMulInto,
+// aliasing is safe here (each element depends only on its own position), so
+// out may be a or b for an in-place product.
+func MulInto(out, a, b *Matrix) {
+	a.shapeCheck(b, "MulInto")
+	a.shapeCheck(out, "MulInto")
+	for i, v := range a.Data {
+		out.Data[i] = v * b.Data[i]
+	}
 }
 
 // Scale returns s·m.

@@ -287,3 +287,58 @@ func TestShapePanics(t *testing.T) {
 		}()
 	}
 }
+
+// MatMulInto writes into out while still reading a and b, so an out that
+// shares backing storage with an operand silently corrupts the product. The
+// overlap check must catch every aliasing shape the arena can produce.
+func TestMatMulIntoAliasPanics(t *testing.T) {
+	backing := make([]float64, 16)
+	a := FromSlice(2, 2, backing[:4])
+	b := FromSlice(2, 2, backing[4:8])
+	cases := []struct {
+		name string
+		out  *Matrix
+	}{
+		{"out is a", a},
+		{"out is b", b},
+		{"out overlaps a's tail", FromSlice(2, 2, backing[2:6])},
+		{"out overlaps b's head", FromSlice(2, 2, backing[6:10])},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected alias panic", tc.name)
+				}
+			}()
+			MatMulInto(tc.out, a, b)
+		}()
+	}
+	// Disjoint views carved from the SAME backing array must NOT be flagged:
+	// this is exactly how the inference arena hands out scratch.
+	out := FromSlice(2, 2, backing[8:12])
+	MatMulInto(out, a, b)
+	want := MatMul(a, b)
+	if !Equal(out, want, 0) {
+		t.Fatalf("disjoint same-backing MatMulInto mismatch: %v vs %v", out, want)
+	}
+}
+
+func TestMulInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := New(3, 4)
+	a.RandNormal(rng, 1)
+	b := New(3, 4)
+	b.RandNormal(rng, 1)
+	out := New(3, 4)
+	MulInto(out, a, b)
+	if !Equal(out, Mul(a, b), 0) {
+		t.Fatalf("MulInto mismatch")
+	}
+	// Unlike MatMulInto, in-place Hadamard is well-defined.
+	want := Mul(a, b)
+	MulInto(a, a, b)
+	if !Equal(a, want, 0) {
+		t.Fatalf("in-place MulInto mismatch")
+	}
+}
