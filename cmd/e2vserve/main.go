@@ -11,6 +11,11 @@
 //	e2vserve -registry http://HOST:8080 [-name env2vec] [-poll 10s]
 //	    Pull the latest published version and keep polling for updates.
 //
+//	e2vserve -registry http://HOST:8080 -registry-dir DIR
+//	    Same, but mirror the registry into a durable local store: the
+//	    daemon warm-starts from DIR after a restart (even with the
+//	    primary down) and keeps DIR converged as a replica.
+//
 // Endpoints: POST /predict, POST /observe (deferred ground truth), GET
 // /quality (model-quality report), GET /healthz, GET /statz, GET /metrics
 // (Prometheus text format), and — with -pprof — GET /debug/pprof/.
@@ -21,6 +26,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -50,6 +56,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("e2vserve", flag.ExitOnError)
 	addr := fs.String("addr", ":9090", "listen address")
 	registry := fs.String("registry", "", "model-registry base URL to poll (e.g. http://localhost:8080)")
+	registryDir := fs.String("registry-dir", "", "local durable registry mirror: replayed for a warm start, then kept converged with -registry")
 	name := fs.String("name", "env2vec", "model name in the registry")
 	model := fs.String("model", "", "local snapshot file (alternative to -registry)")
 	poll := fs.Duration("poll", 10*time.Second, "registry poll interval")
@@ -68,8 +75,11 @@ func run(args []string) error {
 	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ handlers")
 	_ = fs.Parse(args)
-	if (*registry == "") == (*model == "") {
-		return errors.New("exactly one of -registry or -model is required")
+	if *model != "" && (*registry != "" || *registryDir != "") {
+		return errors.New("-model is exclusive with -registry/-registry-dir")
+	}
+	if *model == "" && *registry == "" && *registryDir == "" {
+		return errors.New("one of -model, -registry, or -registry-dir is required")
 	}
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -116,6 +126,60 @@ func run(args []string) error {
 		}
 		srv.SetBundle(b)
 		logger.Info("serving local snapshot", "model", *name, "file", *model)
+	} else if *registryDir != "" {
+		// Durable mirror mode: replay the local registry for a warm start
+		// (serving resumes even if the primary is down), then follow the
+		// primary as a replica and hot-reload as versions land.
+		local, err := modelserver.OpenRegistry(modelserver.WithDir(*registryDir))
+		if err != nil {
+			return err
+		}
+		defer local.Close()
+		local.Instrument(reg)
+		replicaLog := obs.NewLogger(os.Stderr, level, "replica")
+		loadLocal := func() {
+			v, err := local.Latest(*name)
+			if err != nil {
+				return // nothing mirrored yet
+			}
+			if cur := srv.Bundle(); cur != nil && cur.Version >= v.Number {
+				return
+			}
+			snap, err := nn.DecodeSnapshot(bytes.NewReader(v.Data))
+			if err != nil {
+				replicaLog.Error("mirrored version undecodable", "model", *name, "version", v.Number, "err", err)
+				return
+			}
+			b, err := serve.BundleFromSnapshot(*name, v.Number, snap)
+			if err != nil {
+				replicaLog.Error("rejecting mirrored version", "model", *name, "version", v.Number, "err", err)
+				return
+			}
+			srv.SetBundle(b)
+		}
+		loadLocal()
+		if rec := local.RecoveredRecords(); rec > 0 {
+			logger.Warn("registry mirror quarantined torn records on replay", "dir", *registryDir, "records", rec)
+		}
+		if *registry != "" {
+			replica := (&modelserver.Replica{
+				Client:   &modelserver.Client{BaseURL: *registry},
+				Registry: local,
+				Interval: *poll,
+				OnSync: func(pulled int) {
+					if pulled > 0 {
+						loadLocal()
+					}
+				},
+				OnError: func(err error) {
+					replicaLog.Warn("replica sync failed", "registry", *registry, "err", err)
+				},
+			}).Instrument(reg)
+			go replica.Run(ctx)
+			logger.Info("mirroring registry", "registry", *registry, "dir", *registryDir, "interval", *poll)
+		} else {
+			logger.Info("serving from local registry mirror", "dir", *registryDir)
+		}
 	} else {
 		watcherLog := obs.NewLogger(os.Stderr, level, "watcher")
 		watcher := (&modelserver.Watcher{

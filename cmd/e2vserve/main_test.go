@@ -1,6 +1,10 @@
 package main
 
 import (
+	"net/http/httptest"
+
+	"env2vec/internal/modelserver"
+	"env2vec/internal/nn"
 	"fmt"
 	"io"
 	"net"
@@ -56,17 +60,21 @@ func buildServe(t *testing.T) string {
 
 func TestServeRequiresOneSource(t *testing.T) {
 	bin := buildServe(t)
-	for _, args := range [][]string{
-		{}, // neither
-		{"-model", "x.model", "-registry", "http://localhost:8080"}, // both
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{nil, "one of -model, -registry, or -registry-dir is required"},
+		{[]string{"-model", "x.model", "-registry", "http://localhost:8080"}, "-model is exclusive"},
+		{[]string{"-model", "x.model", "-registry-dir", "/tmp/mirror"}, "-model is exclusive"},
 	} {
-		out, err := exec.Command(bin, args...).CombinedOutput()
+		out, err := exec.Command(bin, tc.args...).CombinedOutput()
 		ee, ok := err.(*exec.ExitError)
 		if !ok || ee.ExitCode() != 1 {
-			t.Fatalf("args %v: err=%v out=%q", args, err, out)
+			t.Fatalf("args %v: err=%v out=%q", tc.args, err, out)
 		}
-		if !strings.Contains(string(out), "exactly one of -registry or -model") {
-			t.Fatalf("args %v: %q", args, out)
+		if !strings.Contains(string(out), tc.want) {
+			t.Fatalf("args %v: %q", tc.args, out)
 		}
 	}
 }
@@ -111,4 +119,75 @@ func TestServeMetricsScrape(t *testing.T) {
 			t.Fatalf("metrics page missing %q:\n%s", want, body)
 		}
 	}
+}
+
+// TestServeRegistryMirror boots the daemon in -registry-dir mirror mode
+// against a live primary: the replica counters appear on /metrics, the
+// mirror directory fills with durable shard logs, and a restarted daemon
+// warm-starts from the mirror with the primary gone.
+func TestServeRegistryMirror(t *testing.T) {
+	reg := modelserver.NewRegistry()
+	primary := httptest.NewServer(&modelserver.Handler{Registry: reg})
+	defer primary.Close()
+	p := nn.NewParam("w", 2, 2)
+	if _, err := reg.Publish("env2vec", nn.TakeSnapshot([]*nn.Param{p}, nil), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	bin := buildServe(t)
+	mirror := filepath.Join(t.TempDir(), "mirror")
+	start := func(extra ...string) *exec.Cmd {
+		port := freePort(t)
+		args := append([]string{
+			"-registry-dir", mirror,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+			"-poll", "100ms", "-log-level", "error",
+		}, extra...)
+		cmd := exec.Command(bin, args...)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		})
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			body := scrape(t, fmt.Sprintf("http://127.0.0.1:%d/metrics", port))
+			if strings.Contains(body, "modelserver_replica_syncs_total") || len(extra) == 0 {
+				if strings.Contains(body, "env2vec_registry_recovered_records 0") {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon never exposed registry metrics:\n%s", body)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		return cmd
+	}
+
+	first := start("-registry", primary.URL)
+	// The mirror converges: its shard logs hold the published version.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		local, err := modelserver.OpenRegistry(modelserver.WithDir(mirror))
+		if err == nil {
+			v, lerr := local.Latest("env2vec")
+			local.Close()
+			if lerr == nil && v.Number == 1 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mirror never converged (last err %v)", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Restart without the primary: the daemon boots from the mirror alone.
+	_ = first.Process.Kill()
+	_, _ = first.Process.Wait()
+	primary.Close()
+	start()
 }

@@ -13,17 +13,21 @@
 //	env2vec detect -data DIR -model FILE -exec FILE [-gamma F]
 //	    Score one execution CSV against the trained model, printing alarms.
 //
-//	env2vec serve -model FILE -addr :8080
-//	    Serve the model snapshot from a model-registry endpoint.
+//	env2vec serve [-model FILE] [-registry-dir DIR] [-replica-of URL] -addr :8080
+//	    Run a model-registry daemon: publish a snapshot, serve a durable
+//	    (disk-backed, crash-recovering) registry, or follow a primary as
+//	    a read-only replica.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"env2vec/internal/anomaly"
 	"env2vec/internal/dataset"
@@ -205,20 +209,61 @@ func cmdDetect(args []string) error {
 
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	model := fs.String("model", "", "model snapshot to serve (required)")
+	model := fs.String("model", "", "model snapshot to publish on start (optional with -registry-dir or -replica-of)")
+	name := fs.String("name", "env2vec", "model name -model is published under")
 	addr := fs.String("addr", ":8080", "listen address")
+	dir := fs.String("registry-dir", "", "durable registry directory: replayed on start, every publish fsynced to a per-shard log")
+	replicaOf := fs.String("replica-of", "", "primary registry base URL; run as a read-only syncing replica")
+	syncEvery := fs.Duration("sync", 10*time.Second, "replica sync interval (with -replica-of)")
 	_ = fs.Parse(args)
-	if *model == "" {
-		return fmt.Errorf("serve: -model is required")
+	if *model == "" && *dir == "" && *replicaOf == "" {
+		return fmt.Errorf("serve: need -model, -registry-dir, or -replica-of")
 	}
-	snap, err := nn.LoadSnapshotFile(*model)
-	if err != nil {
-		return err
+	if *model != "" && *replicaOf != "" {
+		return fmt.Errorf("serve: -model and -replica-of are exclusive (replicas are read-only)")
 	}
-	reg := modelserver.NewRegistry()
-	if _, err := reg.Publish("env2vec", snap, 0); err != nil {
-		return err
+	var reg *modelserver.Registry
+	if *dir != "" {
+		var err error
+		if reg, err = modelserver.OpenRegistry(modelserver.WithDir(*dir)); err != nil {
+			return err
+		}
+		defer reg.Close()
+		if rec := reg.RecoveredRecords(); rec > 0 {
+			fmt.Fprintf(os.Stderr, "serve: quarantined %d torn log record(s) during replay of %s\n", rec, *dir)
+		}
+		if names := reg.Names(); len(names) > 0 {
+			fmt.Printf("replayed registry %s: models %s\n", *dir, strings.Join(names, ", "))
+		}
+	} else {
+		reg = modelserver.NewRegistry()
 	}
-	fmt.Printf("serving model registry on %s (GET /models/env2vec/latest)\n", *addr)
-	return http.ListenAndServe(*addr, &modelserver.Handler{Registry: reg})
+	if *model != "" {
+		snap, err := nn.LoadSnapshotFile(*model)
+		if err != nil {
+			return err
+		}
+		if _, err := reg.Publish(*name, snap, time.Now().Unix()); err != nil {
+			return err
+		}
+	}
+	if *replicaOf != "" {
+		replica := &modelserver.Replica{
+			Client:   &modelserver.Client{BaseURL: *replicaOf},
+			Registry: reg,
+			Interval: *syncEvery,
+			OnError: func(err error) {
+				fmt.Fprintln(os.Stderr, "serve: replica sync:", err)
+			},
+		}
+		go replica.Run(context.Background())
+		fmt.Printf("replicating %s every %s\n", *replicaOf, *syncEvery)
+	}
+	fmt.Printf("serving model registry on %s (GET /models/%s/latest, GET /versions)\n", *addr, *name)
+	h := &modelserver.Handler{
+		Registry: reg,
+		Now:      func() int64 { return time.Now().Unix() },
+		ReadOnly: *replicaOf != "",
+	}
+	return http.ListenAndServe(*addr, h)
 }

@@ -1,11 +1,17 @@
 package main
 
 import (
+	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"env2vec/internal/modelserver"
+	"env2vec/internal/nn"
 )
 
 // buildCLI compiles the command in the current directory into a temp dir and
@@ -58,8 +64,12 @@ func TestCLIUsageAndFlagErrors(t *testing.T) {
 		t.Fatalf("detect without -exec: code=%d out=%q", code, out)
 	}
 	out, code = runCLI(t, bin, "serve")
-	if code != 1 || !strings.Contains(out, "-model is required") {
-		t.Fatalf("serve without -model: code=%d out=%q", code, out)
+	if code != 1 || !strings.Contains(out, "need -model, -registry-dir, or -replica-of") {
+		t.Fatalf("serve without a source: code=%d out=%q", code, out)
+	}
+	out, code = runCLI(t, bin, "serve", "-model", "x", "-replica-of", "http://localhost:1")
+	if code != 1 || !strings.Contains(out, "replicas are read-only") {
+		t.Fatalf("serve -model with -replica-of: code=%d out=%q", code, out)
 	}
 }
 
@@ -78,4 +88,84 @@ func TestCLIGenerateWritesCorpus(t *testing.T) {
 	if err != nil || !strings.Contains(string(data), ",") {
 		t.Fatalf("unreadable CSV %s: %v", matches[0], err)
 	}
+}
+
+// TestCLIRegistryDaemonReplication smoke-tests the registry daemon mode:
+// a durable primary daemon accepts an HTTP publish, a -replica-of daemon
+// converges on it, and a restarted primary replays its disk instead of
+// coming up empty.
+func TestCLIRegistryDaemonReplication(t *testing.T) {
+	bin := buildCLI(t)
+	primaryDir := t.TempDir()
+	primaryPort, replicaPort := freePort(t), freePort(t)
+	primaryURL := fmt.Sprintf("http://127.0.0.1:%d", primaryPort)
+	replicaURL := fmt.Sprintf("http://127.0.0.1:%d", replicaPort)
+
+	startDaemon := func(args ...string) *exec.Cmd {
+		cmd := exec.Command(bin, args...)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		})
+		return cmd
+	}
+	awaitVector := func(base string, wantVersion int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			vec, _, _, err := (&modelserver.Client{BaseURL: base}).FetchVersionVector("")
+			if err == nil && vec.Models()["env2vec"] == wantVersion {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never reached env2vec v%d (last err %v)", base, wantVersion, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	primary := startDaemon("serve", "-registry-dir", primaryDir, "-addr", fmt.Sprintf("127.0.0.1:%d", primaryPort))
+	awaitVector(primaryURL, 0)
+
+	// Publish over HTTP, like the training pipeline would.
+	p := nn.NewParam("w", 2, 2)
+	snap := nn.TakeSnapshot([]*nn.Param{p}, nil)
+	client := &modelserver.Client{BaseURL: primaryURL}
+	if v, err := client.Publish("env2vec", snap); err != nil || v != 1 {
+		t.Fatalf("publish: %d %v", v, err)
+	}
+
+	// A follower daemon converges.
+	startDaemon("serve", "-replica-of", primaryURL, "-sync", "100ms", "-addr", fmt.Sprintf("127.0.0.1:%d", replicaPort))
+	awaitVector(replicaURL, 1)
+	if _, ver, err := (&modelserver.Client{BaseURL: replicaURL}).FetchLatest("env2vec"); err != nil || ver != 1 {
+		t.Fatalf("replica fetch: v%d %v", ver, err)
+	}
+	// The follower's HTTP surface is read-only: a local publish would
+	// collide with the primary's numbering.
+	if _, err := (&modelserver.Client{BaseURL: replicaURL}).Publish("env2vec", snap); err == nil ||
+		!strings.Contains(err.Error(), "publish to the primary") {
+		t.Fatalf("replica accepted a publish: %v", err)
+	}
+
+	// Kill the primary and restart it on its directory: the publish survives.
+	_ = primary.Process.Kill()
+	_, _ = primary.Process.Wait()
+	startDaemon("serve", "-registry-dir", primaryDir, "-addr", fmt.Sprintf("127.0.0.1:%d", primaryPort))
+	awaitVector(primaryURL, 1)
+}
+
+// freePort reserves an ephemeral port and releases it for a daemon.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
 }

@@ -14,6 +14,16 @@ go vet ./...
 # quality and alarmstore sit on that same path (async alarm delivery).
 go test -race ./internal/obs/ ./internal/serve/ ./internal/modelserver/ \
     ./internal/quality/ ./internal/alarmstore/
+# The registry's durability story — see docs/serving.md. Fuzz the on-disk
+# record codec (replay never panics, repair is stable), then prove the
+# replication path end to end: train -> publish -> replica converges ->
+# a daemon watching the replica answers /predict identically to one
+# watching the primary. The -race battery above already covers the
+# concurrent publish/get/sync registry test.
+go test -run FuzzStoreReplay -fuzz FuzzStoreReplay -fuzztime 10s ./internal/modelserver/
+go test -run 'ReplicationEndToEnd|PublishThenServe' ./internal/pipeline/
+# The serve worker's forward stage stays allocation-free (PredictInto).
+go test -run 'ForwardStageAllocs' ./internal/serve/
 # Smoke-test the /metrics surface end to end: boot each daemon, scrape it.
 # The e2vserve scrape asserts the quality metrics; the serve suite's
 # /metrics round trip runs every exposition page (exemplar suffixes

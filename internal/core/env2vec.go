@@ -257,6 +257,17 @@ func (m *Model) Predict(b *nn.Batch) []float64 {
 	return m.pred.Predict(b)
 }
 
+// PredictInto is Predict's zero-allocation form: it writes one prediction
+// per batch row into out, which must be exactly batch-sized. Callers that
+// recycle their result storage (the serve worker's forward stage) use this
+// to keep the steady state allocation-free.
+func (m *Model) PredictInto(out []float64, b *nn.Batch) {
+	if b.EnvIDs == nil {
+		panic("core: Env2Vec requires environment ids in the batch")
+	}
+	m.pred.PredictInto(out, b)
+}
+
 // PredictTape is the original inference-tape forward pass, retained as the
 // slow-but-obviously-correct reference for Predict: it reuses the exact
 // graph construction training uses (minus recording), so parity tests can

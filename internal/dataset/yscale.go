@@ -50,6 +50,24 @@ func (ys YScaler) Scale(b *nn.Batch) *nn.Batch {
 	return out
 }
 
+// ScaleInPlace standardizes the batch's targets and window values where
+// they sit — the allocation-free form of Scale for callers that own the
+// batch outright (the serve worker builds a private batch per forward
+// pass). Either tensor may be nil. The arithmetic matches Scale exactly,
+// so the two paths agree bit-for-bit.
+func (ys YScaler) ScaleInPlace(b *nn.Batch) {
+	if b.Y != nil {
+		for i, v := range b.Y.Data {
+			b.Y.Data[i] = (v - ys.Mu) / ys.sigma()
+		}
+	}
+	if b.Window != nil {
+		for i, v := range b.Window.Data {
+			b.Window.Data[i] = (v - ys.Mu) / ys.sigma()
+		}
+	}
+}
+
 // Unscale maps standardized predictions back to raw units.
 func (ys YScaler) Unscale(pred []float64) []float64 {
 	out := make([]float64, len(pred))
@@ -57,4 +75,12 @@ func (ys YScaler) Unscale(pred []float64) []float64 {
 		out[i] = v*ys.sigma() + ys.Mu
 	}
 	return out
+}
+
+// UnscaleInPlace maps standardized predictions back to raw units where they
+// sit, for callers recycling the prediction slice.
+func (ys YScaler) UnscaleInPlace(pred []float64) {
+	for i, v := range pred {
+		pred[i] = v*ys.sigma() + ys.Mu
+	}
 }

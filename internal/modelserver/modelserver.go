@@ -2,21 +2,39 @@
 // the training pipeline publishes versioned model snapshots ("essentially a
 // weight matrix") after each retrain, and the prediction pipeline fetches
 // the latest snapshot over HTTP before each execution.
+//
+// The registry is sharded — model names hash onto independent shards, each
+// with its own lock and version map — and optionally durable: with WithDir,
+// every published version is committed to a per-shard append-only log
+// (checksummed, length-prefixed records; see store.go) before Publish
+// returns, and OpenRegistry replays the logs so a daemon restart loses
+// nothing. Read-only replicas follow a primary with Replica, which polls
+// the primary's per-shard version-vector endpoint and pulls missing
+// versions; see docs/serving.md for the topology.
 package modelserver
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"env2vec/internal/nn"
 	"env2vec/internal/obs"
 )
+
+// DefaultShards is how many shards a registry has unless WithShards says
+// otherwise. For a durable registry the count is fixed at creation time by
+// the MANIFEST file, because records replay from per-shard directories.
+const DefaultShards = 8
 
 // Version is one published model snapshot.
 type Version struct {
@@ -26,62 +44,224 @@ type Version struct {
 	Created int64  // unix seconds
 }
 
-// Registry stores versioned snapshots per model name.
+// Registry stores versioned snapshots per model name, spread over shards.
 type Registry struct {
-	mu       sync.RWMutex
-	versions map[string][]Version
+	shards    []*shard
+	recovered atomic.Uint64 // corrupt tail segments quarantined at open
 }
 
-// NewRegistry returns an empty registry.
+// Option configures OpenRegistry.
+type Option func(*registryOptions)
+
+type registryOptions struct {
+	dir    string
+	shards int
+}
+
+// WithDir makes the registry durable: versions are committed to per-shard
+// append-only logs under dir and replayed on open.
+func WithDir(dir string) Option { return func(o *registryOptions) { o.dir = dir } }
+
+// WithShards sets the shard count (default DefaultShards). For a durable
+// registry the count recorded in the directory's MANIFEST wins on reopen,
+// since names must keep hashing to the shard that holds their log.
+func WithShards(n int) Option { return func(o *registryOptions) { o.shards = n } }
+
+// NewRegistry returns an empty in-memory registry. Use OpenRegistry with
+// WithDir for one that survives restarts.
 func NewRegistry() *Registry {
-	return &Registry{versions: make(map[string][]Version)}
+	r, err := OpenRegistry()
+	if err != nil { // unreachable: only disk options can fail
+		panic(err)
+	}
+	return r
+}
+
+// OpenRegistry builds a registry from options. With WithDir it replays the
+// per-shard logs (restoring every committed version), truncating and
+// quarantining any torn tail record instead of serving it; the number of
+// quarantined tails is available via RecoveredRecords.
+func OpenRegistry(opts ...Option) (*Registry, error) {
+	o := registryOptions{shards: DefaultShards}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.shards < 1 {
+		o.shards = 1
+	}
+	if o.dir != "" {
+		n, err := loadOrWriteManifest(o.dir, o.shards)
+		if err != nil {
+			return nil, err
+		}
+		o.shards = n
+	}
+	r := &Registry{shards: make([]*shard, o.shards)}
+	for i := range r.shards {
+		sh := newShard()
+		if o.dir != "" {
+			st, recovered, err := openShardStore(filepath.Join(o.dir, fmt.Sprintf("shard-%02d", i)), sh.applyReplay)
+			if err != nil {
+				return nil, err
+			}
+			sh.store = st
+			r.recovered.Add(uint64(recovered))
+		}
+		r.shards[i] = sh
+	}
+	return r, nil
+}
+
+// loadOrWriteManifest pins the shard count of a durable registry directory.
+func loadOrWriteManifest(dir string, shards int) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("modelserver: registry dir: %w", err)
+	}
+	path := filepath.Join(dir, "MANIFEST")
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(string(data)), "shards=%d", &n); err != nil || n < 1 {
+			return 0, fmt.Errorf("modelserver: bad MANIFEST %q in %s", strings.TrimSpace(string(data)), dir)
+		}
+		return n, nil
+	case os.IsNotExist(err):
+		if err := writeFileSync(path, []byte(fmt.Sprintf("shards=%d\n", shards))); err != nil {
+			return 0, fmt.Errorf("modelserver: write MANIFEST: %w", err)
+		}
+		return shards, nil
+	default:
+		return 0, fmt.Errorf("modelserver: read MANIFEST: %w", err)
+	}
+}
+
+// shardFor hashes a model name onto its shard (FNV-1a, allocation-free).
+func (r *Registry) shardFor(name string) *shard {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	return r.shards[h%uint32(len(r.shards))]
 }
 
 // Publish stores a new version of the named model and returns its number.
+// On a durable registry the version is fsynced to the shard log before the
+// call returns.
 func (r *Registry) Publish(name string, snap *nn.Snapshot, created int64) (int, error) {
 	data, err := snap.Bytes()
 	if err != nil {
 		return 0, fmt.Errorf("modelserver: encode snapshot: %w", err)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	n := len(r.versions[name]) + 1
-	r.versions[name] = append(r.versions[name], Version{Name: name, Number: n, Data: data, Created: created})
-	return n, nil
+	return r.shardFor(name).publish(name, data, created)
 }
 
 // Latest returns the newest version of the named model.
 func (r *Registry) Latest(name string) (Version, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	vs := r.versions[name]
-	if len(vs) == 0 {
-		return Version{}, fmt.Errorf("modelserver: no versions of %q", name)
-	}
-	return vs[len(vs)-1], nil
+	return r.shardFor(name).latest(name)
 }
 
 // Get returns a specific version.
 func (r *Registry) Get(name string, number int) (Version, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	vs := r.versions[name]
-	if number < 1 || number > len(vs) {
-		return Version{}, fmt.Errorf("modelserver: %q has no version %d", name, number)
-	}
-	return vs[number-1], nil
+	return r.shardFor(name).get(name, number)
 }
 
 // Names lists the registered model names, sorted.
 func (r *Registry) Names() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.versions))
-	for n := range r.versions {
-		out = append(out, n)
+	lists := make([][]string, len(r.shards))
+	for i, sh := range r.shards {
+		lists[i] = sh.names()
 	}
-	sort.Strings(out)
+	return sortedNames(lists)
+}
+
+// latestNumber is Latest without copying the snapshot: 0 when the model is
+// unknown.
+func (r *Registry) latestNumber(name string) int {
+	return r.shardFor(name).latestNumber(name)
+}
+
+// importVersion installs a replicated version under its original number
+// (idempotent for versions already held). Used by Replica.
+func (r *Registry) importVersion(v Version) (bool, error) {
+	return r.shardFor(v.Name).importVersion(v)
+}
+
+// VersionVector reports every shard's name → latest-version map; it is the
+// unit replicas diff against their local state.
+func (r *Registry) VersionVector() VersionVector {
+	vec := VersionVector{Shards: make([]ShardVersions, len(r.shards))}
+	for i, sh := range r.shards {
+		vec.Shards[i] = ShardVersions{Shard: i, Models: sh.vector()}
+	}
+	return vec
+}
+
+// RecoveredRecords reports how many corrupt log tails were quarantined when
+// this registry was opened (0 for in-memory registries and clean opens).
+func (r *Registry) RecoveredRecords() uint64 { return r.recovered.Load() }
+
+// Instrument registers the registry's metrics in reg and returns the
+// registry for chaining: env2vec_registry_recovered_records counts log
+// tails quarantined at open — a nonzero value after a crash is the signal
+// that durability did its job (and which shard dirs hold quarantine files).
+func (r *Registry) Instrument(reg *obs.Registry) *Registry {
+	reg.CounterFunc("env2vec_registry_recovered_records", "Corrupt store tail records quarantined during replay.", nil, r.RecoveredRecords)
+	return r
+}
+
+// Close syncs and closes the shard logs of a durable registry; in-memory
+// registries close trivially. The registry must not be used afterwards.
+func (r *Registry) Close() error {
+	var first error
+	for _, sh := range r.shards {
+		if err := sh.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// VersionVector is the per-shard publication state served at GET /versions.
+type VersionVector struct {
+	Shards []ShardVersions `json:"shards"`
+}
+
+// ShardVersions is one shard's name → latest-version map.
+type ShardVersions struct {
+	Shard  int            `json:"shard"`
+	Models map[string]int `json:"models"`
+}
+
+// Models flattens the vector into one name → latest-version map.
+func (v VersionVector) Models() map[string]int {
+	out := make(map[string]int)
+	for _, sh := range v.Shards {
+		for name, n := range sh.Models {
+			out[name] = n
+		}
+	}
 	return out
+}
+
+// etag renders a deterministic entity tag for the vector, reusing the same
+// If-None-Match short-circuit the per-model latest endpoint has: an
+// unchanged fleet costs replicas a header exchange per poll.
+func (v VersionVector) etag() string {
+	h := fnv.New64a()
+	for _, sh := range v.Shards {
+		names := make([]string, 0, len(sh.Models))
+		for name := range sh.Models {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(h, "%d/%s=%d;", sh.Shard, name, sh.Models[name])
+		}
+	}
+	return `"` + strconv.FormatUint(h.Sum64(), 16) + `"`
 }
 
 // Handler serves the registry:
@@ -89,28 +269,44 @@ func (r *Registry) Names() []string {
 //	POST /models/<name>            (gob body) → version number
 //	GET  /models/<name>/latest     → gob snapshot
 //	GET  /models/<name>/<version>  → gob snapshot
+//	GET  /versions                 → per-shard version vector (JSON)
+//
+// A ReadOnly handler refuses publishes with 403: a replica that accepted
+// a local publish would take a version number the primary later assigns
+// to different bytes, and the two would silently diverge.
 type Handler struct {
 	Registry *Registry
 	Now      func() int64
+	ReadOnly bool
 
 	m struct {
-		publishes, fetches, notModified *obs.Counter // nil (no-op) unless Instrument was called
+		publishes, fetches, notModified, vectors *obs.Counter // nil (no-op) unless Instrument was called
 	}
 }
 
 // Instrument registers the handler's counters in reg and returns the
-// handler for chaining: publishes, full snapshot downloads, and 304
-// short-circuits (the cheap path the ETag protocol exists for).
+// handler for chaining: publishes, full snapshot downloads, 304
+// short-circuits (the cheap path the ETag protocol exists for), and
+// version-vector polls.
 func (h *Handler) Instrument(reg *obs.Registry) *Handler {
 	h.m.publishes = reg.Counter("modelserver_publishes_total", "Snapshot versions published.", nil)
 	h.m.fetches = reg.Counter("modelserver_fetches_total", "Full snapshot downloads served.", nil)
 	h.m.notModified = reg.Counter("modelserver_not_modified_total", "Fetches short-circuited with 304 via ETag.", nil)
+	h.m.vectors = reg.Counter("modelserver_vector_polls_total", "Version-vector polls served (any status).", nil)
 	return h
 }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	if len(parts) == 1 && parts[0] == "versions" {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h.serveVector(w, r)
+		return
+	}
 	if len(parts) < 2 || parts[0] != "models" {
 		http.NotFound(w, r)
 		return
@@ -118,6 +314,10 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	name := parts[1]
 	switch {
 	case r.Method == http.MethodPost && len(parts) == 2:
+		if h.ReadOnly {
+			http.Error(w, "registry is a replica; publish to the primary", http.StatusForbidden)
+			return
+		}
 		body, err := io.ReadAll(r.Body)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -160,6 +360,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		etag := `"` + strconv.Itoa(v.Number) + `"`
 		w.Header().Set("ETag", etag)
 		w.Header().Set("X-Model-Version", strconv.Itoa(v.Number))
+		w.Header().Set("X-Model-Created", strconv.FormatInt(v.Created, 10))
 		// Version short-circuit: pollers send the version they already hold
 		// as If-None-Match so an unchanged model costs a header exchange, not
 		// a snapshot download.
@@ -174,6 +375,22 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
+}
+
+// serveVector answers GET /versions with the per-shard version vector,
+// honouring If-None-Match so an idle fleet of replicas costs header
+// exchanges only.
+func (h *Handler) serveVector(w http.ResponseWriter, r *http.Request) {
+	h.m.vectors.Inc()
+	vec := h.Registry.VersionVector()
+	etag := vec.etag()
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(vec)
 }
 
 // Client talks to a model server.
@@ -243,4 +460,53 @@ func (c *Client) FetchLatestIfNewer(name string, have int) (snap *nn.Snapshot, v
 	}
 	ver, _ = strconv.Atoi(resp.Header.Get("X-Model-Version"))
 	return snap, ver, true, nil
+}
+
+// FetchVersion downloads one specific version verbatim — raw snapshot bytes
+// plus registry metadata — so a replica can mirror it without a decode →
+// re-encode round trip.
+func (c *Client) FetchVersion(name string, number int) (Version, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/models/" + name + "/" + strconv.Itoa(number))
+	if err != nil {
+		return Version{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Version{}, fmt.Errorf("modelserver: fetch %s v%d status %d", name, number, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return Version{}, err
+	}
+	created, _ := strconv.ParseInt(resp.Header.Get("X-Model-Created"), 10, 64)
+	return Version{Name: name, Number: number, Data: data, Created: created}, nil
+}
+
+// FetchVersionVector polls GET /versions. haveETag is the tag from the
+// previous poll ("" on the first); when the server's vector still matches
+// it, changed is false and only headers crossed the wire.
+func (c *Client) FetchVersionVector(haveETag string) (vec VersionVector, etag string, changed bool, err error) {
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/versions", nil)
+	if err != nil {
+		return vec, "", false, err
+	}
+	if haveETag != "" {
+		req.Header.Set("If-None-Match", haveETag)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return vec, "", false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return vec, haveETag, false, nil
+	case http.StatusOK:
+	default:
+		return vec, "", false, fmt.Errorf("modelserver: vector status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vec); err != nil {
+		return vec, "", false, fmt.Errorf("modelserver: decode vector: %w", err)
+	}
+	return vec, resp.Header.Get("ETag"), true, nil
 }

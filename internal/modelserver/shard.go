@@ -1,0 +1,148 @@
+package modelserver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// shard is one independent slice of the registry: its own lock, its own
+// version map, and (when the registry is durable) its own append-only log.
+// Model names are hashed onto shards, so concurrent Publish/Latest/Get on
+// different models contend only when they collide on a shard.
+type shard struct {
+	mu       sync.RWMutex
+	versions map[string][]Version
+	store    *shardStore // nil when the registry is memory-only
+}
+
+func newShard() *shard {
+	return &shard{versions: make(map[string][]Version)}
+}
+
+// applyReplay restores one record during open. Version numbers must arrive
+// in exact publish order; a gap or repeat means the log is damaged from
+// this record on, and the store treats it like a failed checksum.
+func (s *shard) applyReplay(v Version) error {
+	if v.Number != len(s.versions[v.Name])+1 {
+		return fmt.Errorf("%w: version %d of %q after %d replayed",
+			errCorruptRecord, v.Number, v.Name, len(s.versions[v.Name]))
+	}
+	s.versions[v.Name] = append(s.versions[v.Name], v)
+	return nil
+}
+
+// publish assigns the next version number and commits it — to disk first
+// (when durable), then to memory, so a version is never observable in the
+// map without being replayable from the log.
+func (s *shard) publish(name string, data []byte, created int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.versions[name]) + 1
+	v := Version{Name: name, Number: n, Data: data, Created: created}
+	if s.store != nil {
+		if err := s.store.append(v); err != nil {
+			return 0, err
+		}
+	}
+	s.versions[name] = append(s.versions[name], v)
+	return n, nil
+}
+
+// importVersion installs a version pulled from a primary, keeping its
+// number. Versions already held are skipped (idempotent re-pulls); a gap
+// means the caller fetched out of order and is refused.
+func (s *shard) importVersion(v Version) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	have := len(s.versions[v.Name])
+	if v.Number <= have {
+		return false, nil
+	}
+	if v.Number != have+1 {
+		return false, fmt.Errorf("modelserver: import version %d of %q with only %d local", v.Number, v.Name, have)
+	}
+	if s.store != nil {
+		if err := s.store.append(v); err != nil {
+			return false, err
+		}
+	}
+	s.versions[v.Name] = append(s.versions[v.Name], v)
+	return true, nil
+}
+
+func (s *shard) latest(name string) (Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.versions[name]
+	if len(vs) == 0 {
+		return Version{}, fmt.Errorf("modelserver: no versions of %q", name)
+	}
+	return vs[len(vs)-1], nil
+}
+
+func (s *shard) latestNumber(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.versions[name])
+}
+
+func (s *shard) get(name string, number int) (Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.versions[name]
+	if number < 1 || number > len(vs) {
+		return Version{}, fmt.Errorf("modelserver: %q has no version %d", name, number)
+	}
+	return vs[number-1], nil
+}
+
+func (s *shard) names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.versions))
+	for n := range s.versions {
+		out = append(out, n)
+	}
+	return out
+}
+
+// vector snapshots the shard's name → latest-version map.
+func (s *shard) vector() map[string]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]int, len(s.versions))
+	for n, vs := range s.versions {
+		out[n] = len(vs)
+	}
+	return out
+}
+
+func (s *shard) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return nil
+	}
+	err := s.store.close()
+	s.store = nil
+	return err
+}
+
+// sortedNames merges per-shard name lists into one sorted, deduplicated
+// slice (names are unique across shards, but keep the dedup cheap anyway).
+func sortedNames(lists [][]string) []string {
+	var out []string
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Strings(out)
+	n := 0
+	for i, s := range out {
+		if i == 0 || s != out[n-1] {
+			out[n] = s
+			n++
+		}
+	}
+	return out[:n]
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"env2vec/internal/envmeta"
+	"env2vec/internal/nn"
+	"env2vec/internal/tensor"
+)
+
+// TestForwardStageAllocs is the PR-4 follow-up gate: the serve worker's
+// forward stage (Bundle.PredictInto — standardize, scale, fused forward,
+// unscale) must not allocate in steady state now that it rides
+// infer.PredictInto with caller-owned result storage. The bound allows one
+// stray allocation because GC can steal pooled scratch arenas mid-run; the
+// regression being guarded against is the old Scale/Predict/Unscale chain's
+// four-plus slices per pass.
+func TestForwardStageAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; gate runs in the non-race pass")
+	}
+	b := testBundle(7, 1)
+	const n = 8
+	cfg := b.Model.Config()
+	rng := rand.New(rand.NewSource(9))
+	batch := &nn.Batch{
+		X:      tensor.New(n, cfg.In),
+		Window: tensor.New(n, cfg.Window),
+		EnvIDs: make([][]int, envmeta.NumFeatures),
+	}
+	for i := range batch.X.Data {
+		batch.X.Data[i] = rng.NormFloat64()
+	}
+	for i := range batch.Window.Data {
+		batch.Window.Data[i] = 50 + rng.NormFloat64()
+	}
+	ids := b.Schema.Encode(testEnvs[0])
+	for k := range batch.EnvIDs {
+		batch.EnvIDs[k] = make([]int, n)
+		for i := range batch.EnvIDs[k] {
+			batch.EnvIDs[k][i] = ids[k]
+		}
+	}
+	preds := make([]float64, n)
+
+	b.PredictInto(preds, batch) // warm the arena pool
+	for _, p := range preds {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("warmup produced %v", preds)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() { b.PredictInto(preds, batch) })
+	t.Logf("forward stage allocs/op: %.1f", allocs)
+	if allocs > 1 {
+		t.Fatalf("forward stage allocates %.1f/op in steady state; want ≤1", allocs)
+	}
+}
+
+// TestBundlePredictIntoMatchesScalePredictUnscale pins the in-place path to
+// the allocating reference arithmetic bit-for-bit.
+func TestBundlePredictIntoMatchesScalePredictUnscale(t *testing.T) {
+	b := testBundle(11, 1)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		req := randomRequest(rng)
+		want := directPredict(b, req) // Scale → Predict → Unscale chain
+
+		batch := &nn.Batch{
+			X:      tensor.FromSlice(1, len(req.CF), append([]float64(nil), req.CF...)),
+			Window: tensor.FromSlice(1, len(req.Window), append([]float64(nil), req.Window...)),
+			EnvIDs: make([][]int, envmeta.NumFeatures),
+		}
+		ids := b.Schema.Encode(envmeta.Environment{Testbed: req.Testbed, SUT: req.SUT, Testcase: req.Testcase, Build: req.Build})
+		for k := range batch.EnvIDs {
+			batch.EnvIDs[k] = []int{ids[k]}
+		}
+		got := make([]float64, 1)
+		b.PredictInto(got, batch)
+		if got[0] != want {
+			t.Fatalf("trial %d: in-place %v, reference %v", trial, got[0], want)
+		}
+	}
+}

@@ -116,3 +116,18 @@ func BundleFromSnapshot(name string, version int, snap *nn.Snapshot) (*Bundle, e
 	}
 	return b, nil
 }
+
+// PredictInto runs the bundle's full forward stage — feature
+// standardization, target scaling, the fused tape-free forward pass, and
+// the map back to raw units — writing one prediction per batch row into
+// out (which must be batch-sized). It allocates nothing: the batch is
+// consumed, with X and Window rewritten in place, so callers must own the
+// batch outright (the serve worker builds a private one per forward pass).
+func (b *Bundle) PredictInto(out []float64, batch *nn.Batch) {
+	if b.Std != nil {
+		b.Std.Apply(batch.X)
+	}
+	b.YScale.ScaleInPlace(batch)
+	b.Model.PredictInto(out, batch)
+	b.YScale.UnscaleInPlace(out)
+}

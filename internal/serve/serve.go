@@ -494,7 +494,6 @@ func (s *Server) runBatch(items []*item) {
 	batch := &nn.Batch{
 		X:      tensor.New(n, cfg.In),
 		Window: tensor.New(n, cfg.Window),
-		Y:      tensor.New(n, 1),
 		EnvIDs: make([][]int, envmeta.NumFeatures),
 	}
 	for k := range batch.EnvIDs {
@@ -511,10 +510,8 @@ func (s *Server) runBatch(items []*item) {
 			batch.EnvIDs[k][i] = ids[k]
 		}
 	}
-	if b.Std != nil {
-		b.Std.Apply(batch.X)
-	}
-	preds := b.YScale.Unscale(b.Model.Predict(b.YScale.Scale(batch)))
+	preds := make([]float64, n)
+	b.PredictInto(preds, batch)
 
 	batchID := s.batchSeq.Add(1)
 	s.batchSizes.Observe(float64(n))
