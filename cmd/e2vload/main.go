@@ -1,12 +1,15 @@
-// Command e2vload is a closed-loop load generator for e2vserve: it
-// discovers the served model's input shape from GET /statz, drives POST
-// /predict from concurrent workers (optionally rate-limited, optionally
-// carrying synthetic ground truth to exercise the quality monitor), and
-// finishes by printing both the client-side latency picture and the
-// server's own per-stage p99 attribution from /statz.
+// Command e2vload is a closed-loop load generator for e2vserve (or an
+// e2vproxy front tier): it discovers the served model's input shape from
+// GET /statz, drives POST /predict from concurrent workers (optionally
+// rate-limited, optionally carrying synthetic ground truth to exercise
+// the quality monitor), and finishes by printing the client-side latency
+// picture — per target when several are given — and the server's own
+// per-stage p99 attribution from /statz.
 //
 //	e2vload -addr http://localhost:9090 [-c 4] [-duration 10s] [-rps 0]
-//	        [-actuals 0] [-seed 1]
+//	        [-actuals 0] [-seed 1] [-envs 1]
+//	e2vload -targets http://h1:9090,http://h2:9090 ...   # spread workers
+//	e2vload -addr http://proxy:9080 -envs 32 ...         # through a proxy
 package main
 
 import (
@@ -34,32 +37,69 @@ func main() {
 	}
 }
 
+// target is one service URL under load, with its own client-side counters
+// so a fleet run reports per-backend throughput and tail.
+type target struct {
+	base             string
+	latency          *obs.Histogram
+	ok, shed, failed atomic.Uint64
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("e2vload", flag.ExitOnError)
 	addr := fs.String("addr", "http://localhost:9090", "base URL of the prediction service")
+	targetsFlag := fs.String("targets", "", "comma-separated base URLs (overrides -addr); workers round-robin across them")
 	conc := fs.Int("c", 4, "concurrent request workers")
 	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
 	rps := fs.Float64("rps", 0, "target aggregate requests/second (0 = unthrottled)")
 	actuals := fs.Float64("actuals", 0, "fraction of requests carrying synthetic ground truth (feeds the quality monitor)")
+	envs := fs.Int("envs", 1, "distinct environment tuples to spread requests over (build varies)")
 	seed := fs.Int64("seed", 1, "random seed for request generation")
 	_ = fs.Parse(args)
 	if *conc <= 0 {
 		return fmt.Errorf("-c must be positive")
 	}
-	base := strings.TrimRight(*addr, "/")
+	if *envs <= 0 {
+		*envs = 1
+	}
+	var tgts []*target
+	reg := obs.NewRegistry()
+	raw := *targetsFlag
+	if raw == "" {
+		raw = *addr
+	}
+	for _, u := range strings.Split(raw, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			base := strings.TrimRight(u, "/")
+			tgts = append(tgts, &target{
+				base:    base,
+				latency: reg.Histogram("client_latency_ms", "", obs.DefLatencyBuckets, obs.Labels{"target": base}),
+			})
+		}
+	}
+	if len(tgts) == 0 {
+		return fmt.Errorf("no targets given")
+	}
 	client := &http.Client{Timeout: 10 * time.Second}
 
 	// Shape discovery: /statz tells us the model's feature arity and window,
-	// so the generator needs no model file of its own.
-	st, err := fetchStats(client, base)
+	// so the generator needs no model file of its own. Any target will do —
+	// a fleet serves one model; a proxy forwards /statz to a live backend.
+	var st serve.Stats
+	var err error
+	for _, t := range tgts {
+		if st, err = fetchStats(client, t.base); err == nil {
+			break
+		}
+	}
 	if err != nil {
 		return err
 	}
 	if st.Model == "" || st.ModelIn <= 0 || st.ModelWindow <= 0 {
-		return fmt.Errorf("%s serves no model yet (statz: model=%q in=%d window=%d)", base, st.Model, st.ModelIn, st.ModelWindow)
+		return fmt.Errorf("target serves no model yet (statz: model=%q in=%d window=%d)", st.Model, st.ModelIn, st.ModelWindow)
 	}
-	fmt.Fprintf(w, "target %s model=%s/v%d in=%d window=%d workers=%d duration=%s\n",
-		base, st.Model, st.ModelVersion, st.ModelIn, st.ModelWindow, *conc, *duration)
+	fmt.Fprintf(w, "targets %d model=%s/v%d in=%d window=%d workers=%d duration=%s\n",
+		len(tgts), st.Model, st.ModelVersion, st.ModelIn, st.ModelWindow, *conc, *duration)
 
 	var tick <-chan time.Time
 	if *rps > 0 {
@@ -67,8 +107,7 @@ func run(args []string, w io.Writer) error {
 		defer t.Stop()
 		tick = t.C
 	}
-	latency := obs.NewRegistry().Histogram("client_latency_ms", "", obs.DefLatencyBuckets, nil)
-	var ok, shed, failed atomic.Uint64
+	totalLatency := reg.Histogram("client_latency_all_ms", "", obs.DefLatencyBuckets, nil)
 	var lastErr atomic.Value
 	deadline := time.Now().Add(*duration)
 	begin := time.Now()
@@ -78,6 +117,7 @@ func run(args []string, w io.Writer) error {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			tgt := tgts[g%len(tgts)]
 			rng := rand.New(rand.NewSource(*seed + int64(g)))
 			for time.Now().Before(deadline) {
 				if tick != nil {
@@ -87,20 +127,22 @@ func run(args []string, w io.Writer) error {
 						return
 					}
 				}
-				req := genRequest(rng, st.ModelIn, st.ModelWindow, *actuals)
+				req := genRequest(rng, st.ModelIn, st.ModelWindow, *actuals, *envs)
 				t0 := time.Now()
-				code, err := postPredict(client, base, req)
-				latency.Observe(obs.MS(time.Since(t0)))
+				code, err := postPredict(client, tgt.base, req)
+				ms := obs.MS(time.Since(t0))
+				tgt.latency.Observe(ms)
+				totalLatency.Observe(ms)
 				switch {
 				case err != nil:
-					failed.Add(1)
+					tgt.failed.Add(1)
 					lastErr.Store(err)
 				case code == http.StatusOK:
-					ok.Add(1)
+					tgt.ok.Add(1)
 				case code == http.StatusTooManyRequests:
-					shed.Add(1)
+					tgt.shed.Add(1)
 				default:
-					failed.Add(1)
+					tgt.failed.Add(1)
 					lastErr.Store(fmt.Errorf("status %d", code))
 				}
 			}
@@ -109,30 +151,52 @@ func run(args []string, w io.Writer) error {
 	wg.Wait()
 	elapsed := time.Since(begin)
 
-	total := ok.Load() + shed.Load() + failed.Load()
+	var ok, shed, failed uint64
+	for _, t := range tgts {
+		ok += t.ok.Load()
+		shed += t.shed.Load()
+		failed += t.failed.Load()
+	}
+	total := ok + shed + failed
 	if total == 0 {
 		return fmt.Errorf("no requests completed")
 	}
-	qs := latency.Quantiles(0.50, 0.99)
+	qs := totalLatency.Quantiles(0.50, 0.99)
 	fmt.Fprintf(w, "sent %d requests in %s (%.1f req/s): %d ok, %d shed (429), %d failed\n",
-		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), ok.Load(), shed.Load(), failed.Load())
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), ok, shed, failed)
 	fmt.Fprintf(w, "client latency p50=%.2fms p99=%.2fms\n", qs[0], qs[1])
+	if len(tgts) > 1 {
+		for _, t := range tgts {
+			n := t.ok.Load() + t.shed.Load() + t.failed.Load()
+			tq := t.latency.Quantiles(0.50, 0.99)
+			fmt.Fprintf(w, "target %s: %d req (%.1f req/s), %d ok, %d shed, %d failed, p50=%.2fms p99=%.2fms\n",
+				t.base, n, float64(n)/elapsed.Seconds(), t.ok.Load(), t.shed.Load(), t.failed.Load(), tq[0], tq[1])
+		}
+	}
 	if err, _ := lastErr.Load().(error); err != nil {
 		fmt.Fprintf(w, "last failure: %v\n", err)
 	}
 
-	// The server's own attribution: where the tail went, stage by stage.
-	st, err = fetchStats(client, base)
-	if err != nil {
-		return fmt.Errorf("final statz fetch: %w", err)
-	}
-	fmt.Fprintf(w, "server p50=%.2fms p99=%.2fms (queue_wait p99=%.2fms, linger p99=%.2fms, forward p99=%.2fms)\n",
-		st.P50LatencyMS, st.P99LatencyMS, st.QueueWaitP99MS, st.LingerP99MS, st.ForwardP99MS)
-	fmt.Fprintf(w, "server batches=%d max_batch_observed=%d rejected=%d\n",
-		st.Batches, st.MaxBatchObserved, st.Rejected)
-	if n := len(st.LatencyExemplars); n > 0 {
-		ex := st.LatencyExemplars[n-1]
-		fmt.Fprintf(w, "slowest-bucket exemplar: le=%s request_id=%s value=%.2fms\n", ex.LE, ex.RequestID, ex.Value)
+	// The server's own attribution: where the tail went, stage by stage,
+	// per target when several are under load.
+	for _, t := range tgts {
+		st, err := fetchStats(client, t.base)
+		if err != nil {
+			fmt.Fprintf(w, "target %s: final statz fetch failed: %v\n", t.base, err)
+			continue
+		}
+		prefix := "server"
+		if len(tgts) > 1 {
+			prefix = "server " + t.base
+		}
+		fmt.Fprintf(w, "%s p50=%.2fms p99=%.2fms (queue_wait p99=%.2fms, linger p99=%.2fms, forward p99=%.2fms)\n",
+			prefix, st.P50LatencyMS, st.P99LatencyMS, st.QueueWaitP99MS, st.LingerP99MS, st.ForwardP99MS)
+		fmt.Fprintf(w, "%s batches=%d max_batch_observed=%d rejected=%d\n",
+			prefix, st.Batches, st.MaxBatchObserved, st.Rejected)
+		if n := len(st.LatencyExemplars); n > 0 {
+			ex := st.LatencyExemplars[n-1]
+			fmt.Fprintf(w, "%s slowest-bucket exemplar: le=%s request_id=%s value=%.2fms\n", prefix, ex.LE, ex.RequestID, ex.Value)
+		}
 	}
 	return nil
 }
@@ -156,12 +220,15 @@ func fetchStats(client *http.Client, base string) (serve.Stats, error) {
 
 // genRequest draws one synthetic request matching the model's shape; with
 // probability actuals it carries ground truth near the window mean, so a
-// quality-enabled server gets observations to chew on.
-func genRequest(rng *rand.Rand, in, window int, actuals float64) *serve.Request {
+// quality-enabled server gets observations to chew on. envs > 1 spreads
+// requests over that many distinct environment tuples (the build varies),
+// which is what exercises a proxy's affinity routing.
+func genRequest(rng *rand.Rand, in, window int, actuals float64, envs int) *serve.Request {
 	req := &serve.Request{
 		CF:      make([]float64, in),
 		Window:  make([]float64, window),
-		Testbed: "loadgen", SUT: "loadgen", Testcase: "load", Build: "B1",
+		Testbed: "loadgen", SUT: "loadgen", Testcase: "load",
+		Build: fmt.Sprintf("B%d", 1+rng.Intn(envs)),
 	}
 	for j := range req.CF {
 		req.CF[j] = rng.NormFloat64()

@@ -86,3 +86,48 @@ func TestLoadGeneratorUnreachableTarget(t *testing.T) {
 		t.Fatal("expected error for unreachable target")
 	}
 }
+
+func TestLoadGeneratorMultiTarget(t *testing.T) {
+	s1, srv1 := loadTestServer(t)
+	s2, srv2 := loadTestServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-targets", srv1.URL + "," + srv2.URL,
+		"-c", "4", "-duration", "300ms", "-rps", "400",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if s1.Stats().Served == 0 || s2.Stats().Served == 0 {
+		t.Fatalf("load not spread: target1 served %d, target2 served %d",
+			s1.Stats().Served, s2.Stats().Served)
+	}
+	for _, want := range []string{
+		"targets 2 model=test/v1",
+		"target " + srv1.URL + ":",
+		"target " + srv2.URL + ":",
+		"server " + srv1.URL + " p50=",
+		"server " + srv2.URL + " p50=",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// With only one target of several reachable for shape discovery, the
+// generator must still boot (it tries each in turn).
+func TestLoadGeneratorShapeDiscoveryFallsBack(t *testing.T) {
+	_, srv := loadTestServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-targets", "http://127.0.0.1:1," + srv.URL,
+		"-c", "2", "-duration", "150ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "targets 2 model=test/v1") {
+		t.Fatalf("discovery fallback failed:\n%s", out.String())
+	}
+}

@@ -1,0 +1,120 @@
+// Command e2vproxy is the environment-affinity front tier for a fleet of
+// e2vserve instances: it consistent-hashes each request's environment
+// tuple <Testbed,SUT,Testcase,Build> onto a backend (bounded-load ring
+// with virtual nodes), so every instance sees a stable slice of
+// environments and its per-env quality state and micro-batches stay
+// coherent. Backends are health-checked off GET /readyz (falling back to
+// /healthz); a dead backend's slice re-homes deterministically to the
+// next backend clockwise and returns when it rejoins. Requests that hit a
+// dead or overloaded backend fail over along the ring within a retry
+// budget; a saturated pool sheds with 429.
+//
+//	e2vproxy -backends http://h1:9090,http://h2:9090 [-addr :9080]
+//
+// Endpoints: POST /predict and POST /observe (routed), GET /quality
+// (fleet union of per-env drift state), GET /metrics (the proxy's own
+// routing metrics plus every live backend's exposition, labelled
+// backend="host:port"), GET /statz (forwarded to one live backend, so
+// load generators discover the model shape through the proxy), GET /fleet
+// (routing state), GET /healthz, GET /readyz.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"env2vec/internal/obs"
+	"env2vec/internal/proxy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "e2vproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("e2vproxy", flag.ExitOnError)
+	addr := fs.String("addr", ":9080", "listen address")
+	backends := fs.String("backends", "", "comma-separated e2vserve base URLs (required)")
+	vnodes := fs.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
+	loadFactor := fs.Float64("load-factor", 1.25, "bounded-load factor c (≤1 disables the bound)")
+	retries := fs.Int("retries", 0, "failover budget per request (0 = try every backend)")
+	backoff := fs.Duration("retry-backoff", 5*time.Millisecond, "first retry delay, doubling per attempt")
+	maxInflight := fs.Int("max-inflight", 0, "pool-wide in-flight cap before shedding 429s (0 = 256·backends)")
+	check := fs.Duration("check", 2*time.Second, "health probe interval")
+	failAfter := fs.Int("fail-after", 2, "consecutive probe failures that take a backend out")
+	riseAfter := fs.Int("rise-after", 2, "consecutive probe successes that bring it back")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-attempt forward timeout")
+	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ handlers")
+	_ = fs.Parse(args)
+	if *backends == "" {
+		return errors.New("-backends is required (comma-separated e2vserve URLs)")
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return errors.New("-backends parsed to an empty list")
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, level, "e2vproxy")
+
+	p := proxy.New(proxy.Config{
+		Backends:      urls,
+		VNodes:        *vnodes,
+		LoadFactor:    *loadFactor,
+		Retries:       *retries,
+		RetryBackoff:  *backoff,
+		MaxInflight:   *maxInflight,
+		CheckInterval: *check,
+		FailAfter:     *failAfter,
+		RiseAfter:     *riseAfter,
+		Timeout:       *timeout,
+		Obs:           obs.NewRegistry(),
+		Logger:        obs.NewLogger(os.Stderr, level, "proxy"),
+		EnablePprof:   *pprofOn,
+	})
+	p.Start()
+	defer p.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: p}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr, "backends", len(urls),
+			"endpoints", "POST /predict, POST /observe, GET /quality, GET /metrics, GET /statz, GET /fleet, GET /healthz, GET /readyz")
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	logger.Info("drained; bye")
+	return nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func buildProxy(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "e2vproxy")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		lastErr = err
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				return string(body)
+			}
+			lastErr = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("scraping %s never succeeded (last err %v)", url, lastErr)
+	return ""
+}
+
+func TestProxyRequiresBackends(t *testing.T) {
+	bin := buildProxy(t)
+	out, err := exec.Command(bin).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("no -backends: err=%v out=%q", err, out)
+	}
+	if !strings.Contains(string(out), "-backends is required") {
+		t.Fatalf("unexpected error output: %q", out)
+	}
+}
+
+// The daemon acceptance check: boot e2vproxy over two stub backends and
+// scrape the aggregated surfaces through the front tier.
+func TestProxyDaemonScrape(t *testing.T) {
+	stub := func() *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ready") })
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ok") })
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "demo_total 1")
+		})
+		return httptest.NewServer(mux)
+	}
+	b1, b2 := stub(), stub()
+	defer b1.Close()
+	defer b2.Close()
+
+	bin := buildProxy(t)
+	port := freePort(t)
+	cmd := exec.Command(bin,
+		"-backends", b1.URL+","+b2.URL,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-check", "100ms", "-log-level", "error")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+
+	base := fmt.Sprintf("http://127.0.0.1:%d", port)
+	if got := scrape(t, base+"/healthz"); !strings.Contains(got, "ok") {
+		t.Fatalf("healthz: %q", got)
+	}
+	fleet := scrape(t, base+"/fleet")
+	if !strings.Contains(fleet, `"live": 2`) {
+		t.Fatalf("fleet does not show 2 live backends:\n%s", fleet)
+	}
+	metrics := scrape(t, base+"/metrics")
+	for _, want := range []string{
+		"env2vec_proxy_requests_total",
+		"env2vec_proxy_backend_up",
+		`demo_total{backend="` + strings.TrimPrefix(b1.URL, "http://") + `"}`,
+		`demo_total{backend="` + strings.TrimPrefix(b2.URL, "http://") + `"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics page missing %q:\n%s", want, metrics)
+		}
+	}
+}

@@ -52,6 +52,16 @@ func main() {
 	}
 }
 
+// registryClient builds the registry client for a poll loop: with
+// long-polling on, the HTTP timeout must outlast the server-side park.
+func registryClient(baseURL string, longPoll time.Duration) *modelserver.Client {
+	c := &modelserver.Client{BaseURL: baseURL}
+	if longPoll > 0 {
+		c.HTTP = &http.Client{Timeout: longPoll + 30*time.Second}
+	}
+	return c
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("e2vserve", flag.ExitOnError)
 	addr := fs.String("addr", ":9090", "listen address")
@@ -59,7 +69,8 @@ func run(args []string) error {
 	registryDir := fs.String("registry-dir", "", "local durable registry mirror: replayed for a warm start, then kept converged with -registry")
 	name := fs.String("name", "env2vec", "model name in the registry")
 	model := fs.String("model", "", "local snapshot file (alternative to -registry)")
-	poll := fs.Duration("poll", 10*time.Second, "registry poll interval")
+	poll := fs.Duration("poll", 10*time.Second, "registry poll interval (long-poll fallback pacing)")
+	longPoll := fs.Duration("long-poll", 30*time.Second, "park registry polls server-side this long (?wait=), so new versions land in O(RTT); 0 = plain polling")
 	maxBatch := fs.Int("max-batch", 32, "max requests per forward pass")
 	linger := fs.Duration("linger", 2*time.Millisecond, "max time to wait filling a batch")
 	queue := fs.Int("queue", 256, "admission queue bound (overflow returns 429)")
@@ -163,9 +174,10 @@ func run(args []string) error {
 		}
 		if *registry != "" {
 			replica := (&modelserver.Replica{
-				Client:   &modelserver.Client{BaseURL: *registry},
+				Client:   registryClient(*registry, *longPoll),
 				Registry: local,
 				Interval: *poll,
+				LongPoll: *longPoll,
 				OnSync: func(pulled int) {
 					if pulled > 0 {
 						loadLocal()
@@ -183,9 +195,10 @@ func run(args []string) error {
 	} else {
 		watcherLog := obs.NewLogger(os.Stderr, level, "watcher")
 		watcher := (&modelserver.Watcher{
-			Client:   &modelserver.Client{BaseURL: *registry},
+			Client:   registryClient(*registry, *longPoll),
 			Name:     *name,
 			Interval: *poll,
+			LongPoll: *longPoll,
 			OnUpdate: func(snap *nn.Snapshot, ver int) {
 				b, err := serve.BundleFromSnapshot(*name, ver, snap)
 				if err != nil {

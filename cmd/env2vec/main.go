@@ -214,7 +214,8 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	dir := fs.String("registry-dir", "", "durable registry directory: replayed on start, every publish fsynced to a per-shard log")
 	replicaOf := fs.String("replica-of", "", "primary registry base URL; run as a read-only syncing replica")
-	syncEvery := fs.Duration("sync", 10*time.Second, "replica sync interval (with -replica-of)")
+	syncEvery := fs.Duration("sync", 10*time.Second, "replica sync interval (with -replica-of; long-poll fallback pacing)")
+	longPoll := fs.Duration("long-poll", 30*time.Second, "park replica polls on the primary this long (?wait=); 0 = plain polling")
 	_ = fs.Parse(args)
 	if *model == "" && *dir == "" && *replicaOf == "" {
 		return fmt.Errorf("serve: need -model, -registry-dir, or -replica-of")
@@ -248,10 +249,15 @@ func cmdServe(args []string) error {
 		}
 	}
 	if *replicaOf != "" {
+		client := &modelserver.Client{BaseURL: *replicaOf}
+		if *longPoll > 0 {
+			client.HTTP = &http.Client{Timeout: *longPoll + 30*time.Second}
+		}
 		replica := &modelserver.Replica{
-			Client:   &modelserver.Client{BaseURL: *replicaOf},
+			Client:   client,
 			Registry: reg,
 			Interval: *syncEvery,
+			LongPoll: *longPoll,
 			OnError: func(err error) {
 				fmt.Fprintln(os.Stderr, "serve: replica sync:", err)
 			},

@@ -31,8 +31,18 @@ go test -run 'ForwardStageAllocs' ./internal/serve/
 go test -run 'MetricsScrape' ./cmd/e2vserve/ ./cmd/tsdbd/
 # The quality loop end to end: drift inject -> alarm in the store -> /quality.
 go test -run 'QualityLoop|ObserveClosesTheLoop' ./internal/serve/
-# Load harness drives a live server and reads back /statz stage p99s.
+# Load harness drives a live server and reads back /statz stage p99s
+# (multi-target mode included).
 go test -run 'LoadGenerator' ./cmd/e2vload/
+# The fleet front tier: ring/affinity/failover unit battery plus the
+# kill-a-backend e2e (two live serve.Servers behind the proxy, one killed
+# mid-load; zero client-visible errors, deterministic re-homing, fleet
+# /quality and /metrics reflect the survivor) — all under -race.
+go vet ./cmd/e2vproxy
+go test -race ./internal/proxy/...
+go test -race -run 'TestE2EKillBackendFailover' ./internal/proxy/
+# Registry long-poll: parked /versions and /latest pollers wake on publish.
+go test -race -run 'LongPoll' ./internal/modelserver/
 # The fused inference path: race-prove the scratch-arena pool and the
 # tape/infer parity property, then commit machine-readable before/after
 # numbers (ns/op and allocs/op, fused vs tape) — see docs/performance.md.

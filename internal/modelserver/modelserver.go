@@ -25,7 +25,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"env2vec/internal/nn"
 	"env2vec/internal/obs"
@@ -48,6 +50,11 @@ type Version struct {
 type Registry struct {
 	shards    []*shard
 	recovered atomic.Uint64 // corrupt tail segments quarantined at open
+
+	// Long-poll broadcast: waitCh is closed and replaced on every committed
+	// publish or import, so anyone holding the previous channel wakes up.
+	waitMu sync.Mutex
+	waitCh chan struct{}
 }
 
 // Option configures OpenRegistry.
@@ -96,9 +103,10 @@ func OpenRegistry(opts ...Option) (*Registry, error) {
 		}
 		o.shards = n
 	}
-	r := &Registry{shards: make([]*shard, o.shards)}
+	r := &Registry{shards: make([]*shard, o.shards), waitCh: make(chan struct{})}
 	for i := range r.shards {
 		sh := newShard()
+		sh.notify = r.bump
 		if o.dir != "" {
 			st, recovered, err := openShardStore(filepath.Join(o.dir, fmt.Sprintf("shard-%02d", i)), sh.applyReplay)
 			if err != nil {
@@ -202,6 +210,23 @@ func (r *Registry) VersionVector() VersionVector {
 // RecoveredRecords reports how many corrupt log tails were quarantined when
 // this registry was opened (0 for in-memory registries and clean opens).
 func (r *Registry) RecoveredRecords() uint64 { return r.recovered.Load() }
+
+// bump wakes every Updated waiter: a version was committed somewhere.
+func (r *Registry) bump() {
+	r.waitMu.Lock()
+	close(r.waitCh)
+	r.waitCh = make(chan struct{})
+	r.waitMu.Unlock()
+}
+
+// Updated returns a channel that is closed the next time any version is
+// published or imported. Grab the channel BEFORE reading the state you
+// compare against — then a publish racing your read still wakes you.
+func (r *Registry) Updated() <-chan struct{} {
+	r.waitMu.Lock()
+	defer r.waitMu.Unlock()
+	return r.waitCh
+}
 
 // Instrument registers the registry's metrics in reg and returns the
 // registry for chaining: env2vec_registry_recovered_records counts log
@@ -344,7 +369,28 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		var v Version
 		var err error
 		if parts[2] == "latest" {
-			v, err = h.Registry.Latest(name)
+			// Long-poll: ?wait=<dur> with If-None-Match blocks until a newer
+			// version lands (or the wait expires into the usual 304), so
+			// watchers see publishes in O(RTT) instead of the poll interval.
+			deadline := time.Now().Add(parseWait(r))
+			inm := r.Header.Get("If-None-Match")
+			for {
+				updated := h.Registry.Updated() // grab BEFORE reading, see Updated
+				v, err = h.Registry.Latest(name)
+				if err != nil || inm == "" || inm != `"`+strconv.Itoa(v.Number)+`"` {
+					break
+				}
+				remaining := time.Until(deadline)
+				if remaining <= 0 {
+					break
+				}
+				select {
+				case <-updated:
+				case <-time.After(remaining):
+				case <-r.Context().Done():
+					return
+				}
+			}
 		} else {
 			num, convErr := strconv.Atoi(parts[2])
 			if convErr != nil {
@@ -377,20 +423,61 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// MaxWait caps the server-side long-poll duration: a client asking for
+// more gets this much. Bounded so an abandoned connection cannot park a
+// handler goroutine forever past its client's patience.
+const MaxWait = time.Minute
+
+// parseWait reads the ?wait=<dur> long-poll parameter (0 when absent or
+// malformed — old clients and plain polls behave exactly as before).
+func parseWait(r *http.Request) time.Duration {
+	raw := r.URL.Query().Get("wait")
+	if raw == "" {
+		return 0
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d < 0 {
+		return 0
+	}
+	if d > MaxWait {
+		d = MaxWait
+	}
+	return d
+}
+
 // serveVector answers GET /versions with the per-shard version vector,
 // honouring If-None-Match so an idle fleet of replicas costs header
-// exchanges only.
+// exchanges only. With ?wait=<dur> and a matching If-None-Match the
+// handler parks until a publish changes the vector (push-based
+// invalidation: replicas see new versions in O(RTT), not O(interval)),
+// answering 304 only when the wait expires with nothing new.
 func (h *Handler) serveVector(w http.ResponseWriter, r *http.Request) {
 	h.m.vectors.Inc()
-	vec := h.Registry.VersionVector()
-	etag := vec.etag()
-	w.Header().Set("ETag", etag)
-	if r.Header.Get("If-None-Match") == etag {
-		w.WriteHeader(http.StatusNotModified)
-		return
+	deadline := time.Now().Add(parseWait(r))
+	inm := r.Header.Get("If-None-Match")
+	for {
+		updated := h.Registry.Updated() // grab BEFORE reading, see Updated
+		vec := h.Registry.VersionVector()
+		etag := vec.etag()
+		if inm == "" || inm != etag {
+			w.Header().Set("ETag", etag)
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(vec)
+			return
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		select {
+		case <-updated:
+		case <-time.After(remaining):
+		case <-r.Context().Done():
+			return
+		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(vec)
 }
 
 // Client talks to a model server.
@@ -435,7 +522,20 @@ func (c *Client) FetchLatest(name string) (*nn.Snapshot, int, error) {
 // changed=false with a nil snapshot when the server still serves version
 // have; have=0 always downloads.
 func (c *Client) FetchLatestIfNewer(name string, have int) (snap *nn.Snapshot, ver int, changed bool, err error) {
-	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/models/"+name+"/latest", nil)
+	return c.FetchLatestIfNewerWait(name, have, 0)
+}
+
+// FetchLatestIfNewerWait is FetchLatestIfNewer with server-side long-poll:
+// when wait > 0 and the caller already holds a version, the request asks
+// the server to park until a newer version lands (or wait expires into the
+// usual 304). Servers that predate ?wait ignore the parameter and answer
+// immediately — the plain-poll fallback.
+func (c *Client) FetchLatestIfNewerWait(name string, have int, wait time.Duration) (snap *nn.Snapshot, ver int, changed bool, err error) {
+	url := c.BaseURL + "/models/" + name + "/latest"
+	if wait > 0 && have > 0 {
+		url += "?wait=" + wait.String()
+	}
+	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -486,7 +586,18 @@ func (c *Client) FetchVersion(name string, number int) (Version, error) {
 // previous poll ("" on the first); when the server's vector still matches
 // it, changed is false and only headers crossed the wire.
 func (c *Client) FetchVersionVector(haveETag string) (vec VersionVector, etag string, changed bool, err error) {
-	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/versions", nil)
+	return c.FetchVersionVectorWait(haveETag, 0)
+}
+
+// FetchVersionVectorWait is FetchVersionVector with server-side long-poll
+// (see FetchLatestIfNewerWait). The caller's HTTP client timeout must
+// exceed wait, or the poll will abort client-side first.
+func (c *Client) FetchVersionVectorWait(haveETag string, wait time.Duration) (vec VersionVector, etag string, changed bool, err error) {
+	url := c.BaseURL + "/versions"
+	if wait > 0 && haveETag != "" {
+		url += "?wait=" + wait.String()
+	}
+	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
 		return vec, "", false, err
 	}

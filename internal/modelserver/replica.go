@@ -26,6 +26,15 @@ type Replica struct {
 	Client   *Client
 	Registry *Registry
 	Interval time.Duration // polling period; Run defaults to 10s when 0
+	// LongPoll, when positive, makes each vector poll a server-side
+	// long-poll (?wait=LongPoll): an in-sync replica's request parks on the
+	// primary until a publish lands, so new versions replicate in O(RTT)
+	// instead of O(Interval). Run then re-polls immediately after a
+	// long-poll completes. Against a primary that predates ?wait the poll
+	// returns instantly unchanged; Run detects that and falls back to
+	// plain Interval pacing. The client's HTTP timeout must exceed
+	// LongPoll.
+	LongPoll time.Duration
 	// OnSync, when non-nil, is called after every successful sync with the
 	// number of versions pulled (possibly 0). Serving daemons use it to
 	// hot-reload from the local registry the moment new versions land.
@@ -65,7 +74,7 @@ func (rp *Replica) Sync() (pulled int, err error) {
 	rp.mu.Lock()
 	have := rp.etag
 	rp.mu.Unlock()
-	vec, etag, changed, err := rp.Client.FetchVersionVector(have)
+	vec, etag, changed, err := rp.Client.FetchVersionVectorWait(have, rp.LongPoll)
 	if err != nil {
 		rp.m.errors.Inc()
 		return 0, err
@@ -112,26 +121,52 @@ func (rp *Replica) Sync() (pulled int, err error) {
 	return pulled, nil
 }
 
-// Run syncs until ctx is cancelled, starting with an immediate pass.
+// Run syncs until ctx is cancelled, starting with an immediate pass. With
+// LongPoll set it loops back-to-back — each poll blocks server-side until
+// something changes — and drops to Interval pacing only when the server
+// ignores ?wait (pre-long-poll primary) or errors, so it never hot-spins.
 func (rp *Replica) Run(ctx context.Context) {
 	interval := rp.Interval
 	if interval <= 0 {
 		interval = 10 * time.Second
 	}
-	sync := func() {
-		if _, err := rp.Sync(); err != nil && rp.OnError != nil {
+	runLoop(ctx, interval, rp.LongPoll, func() (bool, error) {
+		pulled, err := rp.Sync()
+		if err != nil && rp.OnError != nil {
 			rp.OnError(err)
 		}
-	}
-	sync()
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	for {
+		return pulled > 0, err
+	})
+}
+
+// runLoop is the shared pacing loop of Replica.Run and Watcher.Run: plain
+// ticker polling when longPoll is zero; otherwise immediate re-poll after
+// each pass that either did work (keep draining a burst in O(RTT)) or
+// parked server-side for a while (the long-poll was honoured). A pass that
+// comes back fast with nothing — an old server ignoring ?wait — or fails
+// drops to one interval of sleep, so the loop never hot-spins.
+func runLoop(ctx context.Context, interval, longPoll time.Duration, pass func() (worked bool, err error)) {
+	sleep := func(d time.Duration) bool {
+		t := time.NewTimer(d)
+		defer t.Stop()
 		select {
 		case <-ctx.Done():
+			return false
+		case <-t.C:
+			return true
+		}
+	}
+	for {
+		start := time.Now()
+		worked, err := pass()
+		if ctx.Err() != nil {
 			return
-		case <-ticker.C:
-			sync()
+		}
+		if longPoll > 0 && err == nil && (worked || time.Since(start) >= longPoll/2) {
+			continue // re-arm the long-poll immediately
+		}
+		if !sleep(interval) {
+			return
 		}
 	}
 }

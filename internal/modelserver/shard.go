@@ -14,6 +14,9 @@ type shard struct {
 	mu       sync.RWMutex
 	versions map[string][]Version
 	store    *shardStore // nil when the registry is memory-only
+	// notify, when non-nil, is called after every committed publish or
+	// import — the registry's long-poll broadcast (see Registry.Updated).
+	notify func()
 }
 
 func newShard() *shard {
@@ -46,6 +49,9 @@ func (s *shard) publish(name string, data []byte, created int64) (int, error) {
 		}
 	}
 	s.versions[name] = append(s.versions[name], v)
+	if s.notify != nil {
+		s.notify()
+	}
 	return n, nil
 }
 
@@ -68,6 +74,9 @@ func (s *shard) importVersion(v Version) (bool, error) {
 		}
 	}
 	s.versions[v.Name] = append(s.versions[v.Name], v)
+	if s.notify != nil {
+		s.notify()
+	}
 	return true, nil
 }
 

@@ -25,6 +25,13 @@ type Watcher struct {
 	Client   *Client
 	Name     string
 	Interval time.Duration // polling period; Run defaults to 10s when 0
+	// LongPoll, when positive, turns each poll into a server-side long-poll
+	// (?wait=LongPoll on the latest endpoint): an up-to-date watcher parks
+	// on the registry until the next publish, so reloads land in O(RTT)
+	// instead of O(Interval). Old registries ignore ?wait; Run detects the
+	// instant 304s and falls back to Interval pacing. The client's HTTP
+	// timeout must exceed LongPoll.
+	LongPoll time.Duration
 	// OnUpdate receives each newly observed snapshot. It is called from the
 	// polling goroutine (or the Poll caller), never concurrently with itself.
 	OnUpdate func(snap *nn.Snapshot, version int)
@@ -72,7 +79,7 @@ func (w *Watcher) Poll() (bool, error) {
 	have := w.version
 	w.mu.Unlock()
 	w.m.polls.Inc()
-	snap, ver, changed, err := w.Client.FetchLatestIfNewer(w.Name, have)
+	snap, ver, changed, err := w.Client.FetchLatestIfNewerWait(w.Name, have, w.LongPoll)
 	if err != nil {
 		w.m.errors.Inc()
 		return false, err
@@ -91,26 +98,19 @@ func (w *Watcher) Poll() (bool, error) {
 	return true, nil
 }
 
-// Run polls until ctx is cancelled, starting with an immediate poll.
+// Run polls until ctx is cancelled, starting with an immediate poll. With
+// LongPoll set, polls park server-side and re-arm back-to-back; see
+// runLoop for the old-server fallback.
 func (w *Watcher) Run(ctx context.Context) {
 	interval := w.Interval
 	if interval <= 0 {
 		interval = 10 * time.Second
 	}
-	poll := func() {
-		if _, err := w.Poll(); err != nil && w.OnError != nil {
+	runLoop(ctx, interval, w.LongPoll, func() (bool, error) {
+		updated, err := w.Poll()
+		if err != nil && w.OnError != nil {
 			w.OnError(err)
 		}
-	}
-	poll()
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case <-ticker.C:
-			poll()
-		}
-	}
+		return updated, err
+	})
 }

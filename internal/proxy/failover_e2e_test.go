@@ -1,0 +1,221 @@
+package proxy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"env2vec/internal/core"
+	"env2vec/internal/dataset"
+	"env2vec/internal/envmeta"
+	"env2vec/internal/quality"
+	"env2vec/internal/serve"
+)
+
+// e2eBackend hosts a real serve.Server (quality monitor on) behind httptest.
+type e2eBackend struct {
+	s   *serve.Server
+	srv *httptest.Server
+}
+
+func newE2EBackend(t *testing.T, seed int64) *e2eBackend {
+	t.Helper()
+	cfg := core.Config{In: 3, Hidden: 8, GRUHidden: 4, EmbedDim: 3, Window: 2, Seed: seed}
+	schema := envmeta.NewSchema()
+	schema.Observe(envmeta.Environment{Testbed: "tb1", SUT: "fw", Testcase: "load", Build: "B1"})
+	schema.Freeze()
+	b := &serve.Bundle{
+		Name: "test", Version: 1,
+		Model:    core.New(cfg, schema),
+		Schema:   schema,
+		YScale:   dataset.YScaler{Mu: 50, Sigma: 10},
+		Baseline: &quality.Baseline{Mu: 0, Sigma: 5, Samples: 100},
+	}
+	s := serve.New(serve.Config{
+		MaxBatch: 8, MaxLinger: time.Millisecond, QueueDepth: 256, Workers: 2,
+		Quality: &quality.Config{},
+	})
+	t.Cleanup(s.Close)
+	s.SetBundle(b)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return &e2eBackend{s: s, srv: srv}
+}
+
+// TestE2EKillBackendFailover is the fleet acceptance test: two real
+// e2vserve backends behind the proxy, one killed mid-load. Every client
+// request must still succeed within the retry budget, every environment
+// must re-home onto the survivor deterministically, and the fleet /quality
+// and /metrics views must reflect the surviving pool.
+func TestE2EKillBackendFailover(t *testing.T) {
+	b0, b1 := newE2EBackend(t, 7), newE2EBackend(t, 11)
+	p := New(Config{
+		Backends:     []string{b0.srv.URL, b1.srv.URL},
+		FailAfter:    1, // a transport error drops the backend immediately
+		RiseAfter:    1,
+		LoadFactor:   1, // disable bounded-load spill: this test asserts strict affinity
+		RetryBackoff: time.Millisecond,
+		Timeout:      5 * time.Second,
+	})
+	defer p.Close()
+	front := httptest.NewServer(p)
+	defer front.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	const (
+		workers  = 4
+		builds   = 8
+		perPhase = 25 // requests per worker before and after the kill
+	)
+	type result struct {
+		status  int
+		build   string
+		backend string
+		body    string
+	}
+
+	runPhase := func(phase string) []result {
+		var mu sync.Mutex
+		var results []result
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(g)*31 + 1))
+				for i := 0; i < perPhase; i++ {
+					build := fmt.Sprintf("B%d", i%builds)
+					body := fmt.Sprintf(`{"cf":[%f,%f,%f],"window":[50,51],"testbed":"tb1","sut":"fw","testcase":"load","build":%q,"actual":%f}`,
+						rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), build, 50+rng.NormFloat64())
+					resp, err := client.Post(front.URL+"/predict", "application/json", bytes.NewReader([]byte(body)))
+					if err != nil {
+						mu.Lock()
+						results = append(results, result{status: -1, build: build, body: err.Error()})
+						mu.Unlock()
+						continue
+					}
+					var buf bytes.Buffer
+					_, _ = buf.ReadFrom(resp.Body)
+					resp.Body.Close()
+					mu.Lock()
+					results = append(results, result{
+						status: resp.StatusCode, build: build,
+						backend: resp.Header.Get("X-Backend"), body: buf.String(),
+					})
+					mu.Unlock()
+				}
+			}(g)
+		}
+		wg.Wait()
+		for _, r := range results {
+			if r.status != http.StatusOK {
+				t.Fatalf("%s phase: request for %s got status %d (%s) — client saw a routing error",
+					phase, r.build, r.status, r.body)
+			}
+			if r.backend == "" {
+				t.Fatalf("%s phase: response missing X-Backend", phase)
+			}
+		}
+		return results
+	}
+
+	// Phase 1: healthy pool. Affinity must be total — one home per build.
+	pre := runPhase("healthy")
+	homes := map[string]string{}
+	for _, r := range pre {
+		if prev, ok := homes[r.build]; ok && prev != r.backend {
+			t.Fatalf("healthy phase: build %s served by both %s and %s", r.build, prev, r.backend)
+		}
+		homes[r.build] = r.backend
+	}
+	distinct := map[string]bool{}
+	for _, h := range homes {
+		distinct[h] = true
+	}
+	if len(distinct) != 2 {
+		t.Fatalf("healthy phase: %d builds all homed on one backend — ring not spreading", builds)
+	}
+
+	// Kill backend 0 mid-fleet. In-flight requests may see the connection
+	// die; the proxy's retry budget must absorb every one of them.
+	b0.srv.Close()
+	survivor := backendName(b1.srv.URL)
+
+	// Phase 2: every request must land on the survivor, zero client errors.
+	post := runPhase("post-kill")
+	for _, r := range post {
+		if r.backend != survivor {
+			t.Fatalf("post-kill: build %s served by %q, want survivor %q", r.build, r.backend, survivor)
+		}
+	}
+	if !p.Backends()[1].Alive() {
+		t.Fatal("survivor marked dead")
+	}
+	if p.Backends()[0].Alive() {
+		t.Fatal("killed backend still marked alive after failed forwards")
+	}
+	// Re-homing is stable: replaying any build hits the same survivor.
+	for i := 0; i < builds; i++ {
+		key := envKey(fmt.Sprintf("B%d", i))
+		got := ""
+		p.ring.walk(key, func(b *Backend) bool {
+			if !b.Alive() {
+				return true
+			}
+			got = b.Name()
+			return false
+		})
+		if got != survivor {
+			t.Fatalf("build B%d re-homed to %q, want %q", i, got, survivor)
+		}
+	}
+
+	// Fleet /quality reflects the surviving pool and carries the drift
+	// state fed by the ground-truth actuals above.
+	resp, err := client.Get(front.URL + "/quality")
+	if err != nil {
+		t.Fatalf("fleet quality: %v", err)
+	}
+	var fq FleetQuality
+	err = json.NewDecoder(resp.Body).Decode(&fq)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("fleet quality decode: %v", err)
+	}
+	if len(fq.Backends) != 1 || fq.Backends[0].Backend != survivor {
+		t.Fatalf("fleet quality backends = %+v, want only survivor %s", fq.Backends, survivor)
+	}
+	if fq.Totals.Observations == 0 {
+		t.Fatal("fleet quality shows zero observations despite ground-truth-bearing load")
+	}
+	if len(fq.Environments) == 0 {
+		t.Fatal("fleet quality union is empty")
+	}
+	for _, es := range fq.Environments {
+		if es.Backend != survivor {
+			t.Fatalf("environment %s attributed to %q, want survivor %q", es.Env, es.Backend, survivor)
+		}
+	}
+
+	// Fleet /metrics merges only the survivor's exposition.
+	resp, err = client.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("fleet metrics: %v", err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	page := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte(fmt.Sprintf("backend=%q", survivor))) {
+		t.Fatalf("fleet metrics missing survivor's labelled series:\n%.2000s", page)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("env2vec_proxy_failovers_total")) {
+		t.Fatal("fleet metrics missing the proxy's failover counter")
+	}
+}

@@ -1,0 +1,622 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"env2vec/internal/envmeta"
+	"env2vec/internal/obs"
+)
+
+// Config sizes the front tier.
+type Config struct {
+	// Backends are the e2vserve base URLs the proxy routes over (required,
+	// at least one).
+	Backends []string
+	// VNodes is how many virtual nodes each backend owns on the hash ring
+	// (default 64): more vnodes, smoother slices, slower ring build.
+	VNodes int
+	// LoadFactor is the bounded-load factor c: a backend is skipped for
+	// *new* placement when admitting the request would push it past
+	// ceil(c · total-in-flight / live-backends) (default 1.25; values
+	// ≤ 1 disable the bound).
+	LoadFactor float64
+	// Retries is the per-request failover budget: how many *additional*
+	// backends a request may try after its home fails (default: all of
+	// them — len(Backends)−1).
+	Retries int
+	// RetryBackoff is the first retry's delay, doubling per attempt
+	// (default 5ms). Backoff only applies between attempts of one request.
+	RetryBackoff time.Duration
+	// MaxInflight caps the pool-wide concurrent forwards; beyond it the
+	// proxy sheds with 429 instead of queueing (default 256 per backend).
+	MaxInflight int
+	// CheckInterval is the health-probe period (default 2s).
+	CheckInterval time.Duration
+	// FailAfter / RiseAfter are the consecutive probe outcomes needed to
+	// take a backend out of / back into rotation (default 2 / 2).
+	FailAfter, RiseAfter int
+	// Timeout bounds each forwarded attempt (default 10s).
+	Timeout time.Duration
+	// PendingCap bounds the request-id → backend map that keeps POST
+	// /observe sticky to the backend that served the prediction
+	// (default 16384, FIFO eviction).
+	PendingCap int
+
+	// Obs is the metrics registry the proxy instruments itself into; nil
+	// gets a private registry. Served (merged with the fleet's) at /metrics.
+	Obs *obs.Registry
+	// Logger receives structured events (backend state flips, failovers).
+	// Nil discards them.
+	Logger *slog.Logger
+	// EnablePprof mounts /debug/pprof/ on the proxy mux.
+	EnablePprof bool
+	// HTTP overrides the forwarding client (tests); nil builds one from
+	// Timeout.
+	HTTP *http.Client
+}
+
+// Proxy is the routing front tier. Create with New, start health probing
+// with Start, and serve it as an http.Handler.
+type Proxy struct {
+	cfg      Config
+	backends []*Backend
+	ring     *ring
+	health   *health
+	client   *http.Client
+	mux      *http.ServeMux
+	reg      *obs.Registry
+	log      *slog.Logger
+
+	totalInflight atomic.Int64
+
+	// sticky maps request ids of proxied predictions to the backend that
+	// served them, so a later POST /observe lands on the process holding
+	// the pending entry. Bounded FIFO, like serve's own pending map.
+	stickyMu    sync.Mutex
+	sticky      map[string]*Backend
+	stickyOrder []string
+
+	served, shed, failed *obs.Counter
+	retries, failovers   *obs.Counter
+	rehomed              *obs.Counter
+	scrapeErrors         *obs.Counter
+	stickyMiss           *obs.Counter
+
+	healthCancel         context.CancelFunc
+	healthDone           chan struct{}
+	startOnce, closeOnce sync.Once
+}
+
+// New builds a proxy over cfg.Backends. It panics on an empty backend
+// list — a front tier with nothing behind it is a configuration error,
+// not a runtime state.
+func New(cfg Config) *Proxy {
+	if len(cfg.Backends) == 0 {
+		panic("proxy: no backends configured")
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = 64
+	}
+	if cfg.LoadFactor == 0 {
+		cfg.LoadFactor = 1.25
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = len(cfg.Backends) - 1
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 5 * time.Millisecond
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 256 * len(cfg.Backends)
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = 2 * time.Second
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 2
+	}
+	if cfg.RiseAfter <= 0 {
+		cfg.RiseAfter = 2
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.PendingCap <= 0 {
+		cfg.PendingCap = 16384
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.DiscardLogger()
+	}
+	client := cfg.HTTP
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+	p := &Proxy{
+		cfg:    cfg,
+		client: client,
+		reg:    reg,
+		log:    logger,
+		sticky: make(map[string]*Backend),
+	}
+	p.served = reg.Counter("env2vec_proxy_requests_total", "Proxied requests by outcome.", obs.Labels{"outcome": "served"})
+	p.shed = reg.Counter("env2vec_proxy_requests_total", "Proxied requests by outcome.", obs.Labels{"outcome": "shed"})
+	p.failed = reg.Counter("env2vec_proxy_requests_total", "Proxied requests by outcome.", obs.Labels{"outcome": "failed"})
+	p.retries = reg.Counter("env2vec_proxy_retries_total", "Forward attempts beyond a request's first.", nil)
+	p.failovers = reg.Counter("env2vec_proxy_failovers_total", "Requests served by a backend other than their ring home.", nil)
+	p.rehomed = reg.Counter("env2vec_proxy_backend_transitions_total", "Backend liveness flips observed by the health checker.", nil)
+	p.scrapeErrors = reg.Counter("env2vec_proxy_fleet_scrape_errors_total", "Backend /metrics//quality scrapes that failed during aggregation.", nil)
+	p.stickyMiss = reg.Counter("env2vec_proxy_observe_misses_total", "POST /observe requests whose request id had no recorded backend.", nil)
+	reg.GaugeFunc("env2vec_proxy_inflight", "Requests currently being forwarded, pool-wide.", nil, func() float64 { return float64(p.totalInflight.Load()) })
+	reg.Gauge("env2vec_proxy_inflight_capacity", "Pool-wide in-flight bound; overflow is shed with 429.", nil).Set(float64(cfg.MaxInflight))
+
+	for _, url := range cfg.Backends {
+		url = strings.TrimRight(url, "/")
+		b := &Backend{URL: url, name: backendName(url)}
+		b.alive.Store(true) // optimistic until the first probe pass
+		lbls := obs.Labels{"backend": b.name}
+		b.latency = reg.Histogram("env2vec_proxy_backend_latency_ms", "Forward latency per backend.", obs.DefLatencyBuckets, lbls)
+		b.served = reg.Counter("env2vec_proxy_backend_requests_total", "Requests forwarded per backend, by outcome.", obs.Labels{"backend": b.name, "outcome": "served"})
+		b.failed = reg.Counter("env2vec_proxy_backend_requests_total", "Requests forwarded per backend, by outcome.", obs.Labels{"backend": b.name, "outcome": "failed"})
+		b.probes = reg.Counter("env2vec_proxy_backend_probes_total", "Health probes per backend.", lbls)
+		reg.GaugeFunc("env2vec_proxy_backend_up", "1 when the backend is in rotation.", lbls, func() float64 {
+			if b.Alive() {
+				return 1
+			}
+			return 0
+		})
+		reg.GaugeFunc("env2vec_proxy_backend_inflight", "In-flight forwards per backend.", lbls, func() float64 { return float64(b.Inflight()) })
+		p.backends = append(p.backends, b)
+	}
+	p.ring = newRing(p.backends, cfg.VNodes)
+	p.health = &health{
+		backends:    p.backends,
+		client:      client,
+		interval:    cfg.CheckInterval,
+		fail:        cfg.FailAfter,
+		rise:        cfg.RiseAfter,
+		transitions: p.rehomed,
+		onChange: func(b *Backend, alive bool) {
+			if alive {
+				logger.Info("backend rejoined; its environment slice re-homes back", "backend", b.name)
+			} else {
+				logger.Warn("backend down; its environment slice re-homes clockwise", "backend", b.name)
+			}
+		},
+	}
+
+	p.mux = http.NewServeMux()
+	p.mux.HandleFunc("/predict", p.handlePredict)
+	p.mux.HandleFunc("/observe", p.handleObserve)
+	p.mux.HandleFunc("/quality", p.handleQuality)
+	p.mux.HandleFunc("/metrics", p.handleMetrics)
+	p.mux.HandleFunc("/statz", p.handleStatz)
+	p.mux.HandleFunc("/fleet", p.handleFleet)
+	p.mux.HandleFunc("/healthz", p.handleHealthz)
+	p.mux.HandleFunc("/readyz", p.handleHealthz) // same truth at the proxy: routable backends exist
+	if cfg.EnablePprof {
+		obs.RegisterPprof(p.mux)
+	}
+	return p
+}
+
+// Start launches the health-probe loop (an immediate pass, then every
+// CheckInterval). Without Start the proxy still routes, optimistically
+// treating every backend as alive until forwards fail.
+func (p *Proxy) Start() {
+	p.startOnce.Do(func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		p.healthCancel = cancel
+		p.healthDone = make(chan struct{})
+		go func() {
+			defer close(p.healthDone)
+			p.health.run(ctx)
+		}()
+	})
+}
+
+// Close stops the health loop. In-flight forwards complete on their own.
+func (p *Proxy) Close() {
+	p.closeOnce.Do(func() {
+		if p.healthCancel != nil {
+			p.healthCancel()
+			<-p.healthDone
+		}
+	})
+}
+
+// Probe runs one synchronous health pass (tests and boot paths that want
+// deterministic convergence before serving).
+func (p *Proxy) Probe() { p.health.probe(context.Background()) }
+
+// Backends exposes the pool (read-only by convention).
+func (p *Proxy) Backends() []*Backend { return p.backends }
+
+// Metrics returns the proxy's own metrics registry.
+func (p *Proxy) Metrics() *obs.Registry { return p.reg }
+
+// Home returns the ring-home backend for an environment key — the
+// deterministic owner when every backend is alive. Tests and rebalancing
+// tooling use it; the request path walks the ring directly.
+func (p *Proxy) Home(key string) *Backend {
+	var home *Backend
+	p.ring.walk(key, func(b *Backend) bool { home = b; return false })
+	return home
+}
+
+// route returns the preference-ordered live candidates for key, at most
+// 1+Retries of them: the key's home first (bounded-load permitting), then
+// its deterministic failover order. A backend past the load bound is
+// demoted, not dropped — affinity yields to survival, never to a 5xx.
+func (p *Proxy) route(key string) []*Backend {
+	alive := p.ring.order(key)
+	n := 0
+	for _, b := range alive {
+		if b.Alive() {
+			alive[n] = b
+			n++
+		}
+	}
+	alive = alive[:n]
+	if len(alive) == 0 {
+		return nil
+	}
+	// Bounded load (CHWBL): spill a key off its home only while admitting
+	// it would push the home past c·avg — the overflow target is the next
+	// backend clockwise, so spill is deterministic too.
+	if c := p.cfg.LoadFactor; c > 1 {
+		bound := int64(math.Ceil(c * float64(p.totalInflight.Load()+1) / float64(len(alive))))
+		for i, b := range alive {
+			if b.Inflight()+1 <= bound {
+				if i > 0 {
+					alive[0], alive[i] = alive[i], alive[0]
+				}
+				break
+			}
+		}
+	}
+	if max := 1 + p.cfg.Retries; len(alive) > max {
+		alive = alive[:max]
+	}
+	return alive
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) { p.mux.ServeHTTP(w, r) }
+
+// predictKey is the slice of the /predict body the router needs.
+type predictKey struct {
+	Testbed   string `json:"testbed"`
+	SUT       string `json:"sut"`
+	Testcase  string `json:"testcase"`
+	Build     string `json:"build"`
+	RequestID string `json:"request_id"`
+}
+
+func (p *Proxy) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var key predictKey
+	if err := json.Unmarshal(body, &key); err != nil {
+		http.Error(w, "invalid request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	env := envmeta.Environment{Testbed: key.Testbed, SUT: key.SUT, Testcase: key.Testcase, Build: key.Build}
+	reqID := r.Header.Get(obs.RequestIDHeader)
+	if reqID == "" {
+		reqID = key.RequestID
+	}
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	p.forward(w, env.String(), "/predict", body, reqID, func(b *Backend) {
+		p.rememberSticky(reqID, b)
+	})
+}
+
+func (p *Proxy) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	var req struct {
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		jsonError(w, http.StatusBadRequest, "invalid request: "+err.Error())
+		return
+	}
+	b, ok := p.takeSticky(req.RequestID)
+	if !ok || !b.Alive() {
+		// The prediction's backend is unknown (evicted, proxy restart) or
+		// gone; its pending entry died with it. 404 matches the backend's
+		// own unknown-id answer.
+		p.stickyMiss.Inc()
+		jsonError(w, http.StatusNotFound, "unknown or expired request id")
+		return
+	}
+	status, hdr, respBody, err := p.attempt(b, "/observe", body, req.RequestID)
+	if err != nil {
+		jsonError(w, http.StatusBadGateway, "backend "+b.name+": "+err.Error())
+		return
+	}
+	relay(w, status, hdr, respBody, b)
+}
+
+// forward routes one request along its ring candidates with the retry
+// budget and exponential backoff, relaying the first conclusive response.
+// onServed runs with the backend that produced a 2xx (sticky bookkeeping).
+func (p *Proxy) forward(w http.ResponseWriter, key, path string, body []byte, reqID string, onServed func(*Backend)) {
+	if p.totalInflight.Load() >= int64(p.cfg.MaxInflight) {
+		p.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "proxy: pool saturated", http.StatusTooManyRequests)
+		return
+	}
+	candidates := p.route(key)
+	if len(candidates) == 0 {
+		p.failed.Inc()
+		http.Error(w, "proxy: no live backends", http.StatusServiceUnavailable)
+		return
+	}
+	backoff := p.cfg.RetryBackoff
+	var lastStatus int
+	var lastErr error
+	for i, b := range candidates {
+		if i > 0 {
+			p.retries.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		status, hdr, respBody, err := p.attempt(b, path, body, reqID)
+		if err != nil {
+			// Transport-level failure: the backend is suspect. Report it to
+			// the health state machine so the ring converges faster than the
+			// next probe tick, and try the next candidate.
+			p.health.reportFailure(b)
+			lastErr = err
+			p.log.Debug("forward failed, failing over", "backend", b.name, "path", path, "err", err)
+			continue
+		}
+		if retryableStatus(status) {
+			// 429: the backend's queue is full — spill clockwise (the
+			// bounded-load escape hatch). 502/503: it is up but cannot serve
+			// (no model yet, shutting down); the next candidate might.
+			lastStatus = status
+			p.log.Debug("backend refused, failing over", "backend", b.name, "status", status)
+			continue
+		}
+		if i > 0 {
+			p.failovers.Inc()
+		}
+		if status < 300 {
+			p.served.Inc()
+			b.served.Inc()
+			if onServed != nil {
+				onServed(b)
+			}
+		} else {
+			p.failed.Inc() // conclusive client error (400 etc.) — relay, don't mask
+		}
+		relay(w, status, hdr, respBody, b)
+		return
+	}
+	// Retry budget exhausted.
+	p.failed.Inc()
+	switch {
+	case lastStatus == http.StatusTooManyRequests:
+		p.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "proxy: fleet saturated", http.StatusTooManyRequests)
+	case lastStatus != 0:
+		http.Error(w, fmt.Sprintf("proxy: all candidates refused (last status %d)", lastStatus), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, "proxy: all candidates unreachable: "+lastErr.Error(), http.StatusBadGateway)
+	}
+}
+
+// attempt forwards one request to one backend, returning its status,
+// headers of interest, and body. Transport errors are returned as err.
+func (p *Proxy) attempt(b *Backend, path string, body []byte, reqID string) (int, http.Header, []byte, error) {
+	b.inflight.Add(1)
+	p.totalInflight.Add(1)
+	defer func() {
+		b.inflight.Add(-1)
+		p.totalInflight.Add(-1)
+	}()
+	req, err := http.NewRequest(http.MethodPost, b.URL+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set(obs.RequestIDHeader, reqID)
+	}
+	t0 := time.Now()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		b.failed.Inc()
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		b.failed.Inc()
+		return 0, nil, nil, err
+	}
+	b.latency.ObserveExemplar(obs.MS(time.Since(t0)), reqID)
+	return resp.StatusCode, resp.Header, respBody, nil
+}
+
+// retryableStatus reports whether a backend status means "try the next
+// candidate": overload (429) and transient unavailability (502/503/504).
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// relay writes a backend response through to the client, preserving the
+// trace header and stamping which backend served it.
+func relay(w http.ResponseWriter, status int, hdr http.Header, body []byte, b *Backend) {
+	if ct := hdr.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if id := hdr.Get(obs.RequestIDHeader); id != "" {
+		w.Header().Set(obs.RequestIDHeader, id)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set("X-Backend", b.name)
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// handleStatz forwards /statz to the first live backend: load generators
+// discover the served model's shape through the proxy exactly as they
+// would against a single instance. The fleet's own state lives at /fleet.
+func (p *Proxy) handleStatz(w http.ResponseWriter, r *http.Request) {
+	for _, b := range p.backends {
+		if !b.Alive() {
+			continue
+		}
+		resp, err := p.client.Get(b.URL + "/statz")
+		if err != nil {
+			p.health.reportFailure(b)
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			continue
+		}
+		relay(w, resp.StatusCode, resp.Header, body, b)
+		return
+	}
+	jsonError(w, http.StatusServiceUnavailable, "no live backends")
+}
+
+// FleetState is the GET /fleet payload: the proxy's routing view.
+type FleetState struct {
+	Backends  []BackendState `json:"backends"`
+	Live      int            `json:"live"`
+	Inflight  int64          `json:"inflight"`
+	Served    uint64         `json:"served"`
+	Shed      uint64         `json:"shed"`
+	Failed    uint64         `json:"failed"`
+	Retries   uint64         `json:"retries"`
+	Failovers uint64         `json:"failovers"`
+}
+
+// BackendState is one backend's routing view.
+type BackendState struct {
+	Backend  string  `json:"backend"`
+	URL      string  `json:"url"`
+	Alive    bool    `json:"alive"`
+	Inflight int64   `json:"inflight"`
+	Served   uint64  `json:"served"`
+	Failed   uint64  `json:"failed"`
+	P50MS    float64 `json:"p50_latency_ms"`
+	P99MS    float64 `json:"p99_latency_ms"`
+}
+
+func (p *Proxy) handleFleet(w http.ResponseWriter, r *http.Request) {
+	st := FleetState{
+		Inflight:  p.totalInflight.Load(),
+		Served:    p.served.Value(),
+		Shed:      p.shed.Value(),
+		Failed:    p.failed.Value(),
+		Retries:   p.retries.Value(),
+		Failovers: p.failovers.Value(),
+	}
+	for _, b := range p.backends {
+		qs := b.latency.Quantiles(0.50, 0.99)
+		bs := BackendState{
+			Backend: b.name, URL: b.URL, Alive: b.Alive(),
+			Inflight: b.Inflight(), Served: b.served.Value(), Failed: b.failed.Value(),
+			P50MS: qs[0], P99MS: qs[1],
+		}
+		if bs.Alive {
+			st.Live++
+		}
+		st.Backends = append(st.Backends, bs)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(st)
+}
+
+func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	for _, b := range p.backends {
+		if b.Alive() {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+	}
+	http.Error(w, "no live backends", http.StatusServiceUnavailable)
+}
+
+// rememberSticky records which backend served a prediction id (bounded
+// FIFO), so the ground truth for it can find the same pending map.
+func (p *Proxy) rememberSticky(id string, b *Backend) {
+	p.stickyMu.Lock()
+	defer p.stickyMu.Unlock()
+	if _, exists := p.sticky[id]; !exists {
+		for len(p.sticky) >= p.cfg.PendingCap && len(p.stickyOrder) > 0 {
+			old := p.stickyOrder[0]
+			p.stickyOrder = p.stickyOrder[1:]
+			delete(p.sticky, old)
+		}
+		p.stickyOrder = append(p.stickyOrder, id)
+	}
+	p.sticky[id] = b
+}
+
+func (p *Proxy) takeSticky(id string) (*Backend, bool) {
+	p.stickyMu.Lock()
+	defer p.stickyMu.Unlock()
+	b, ok := p.sticky[id]
+	if ok {
+		delete(p.sticky, id)
+	}
+	return b, ok
+}
+
+// jsonError mirrors serve's error body shape.
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,116 @@
+package proxy
+
+import (
+	"fmt"
+	"testing"
+)
+
+func makeBackends(urls ...string) []*Backend {
+	bs := make([]*Backend, 0, len(urls))
+	for _, u := range urls {
+		b := &Backend{URL: u, name: backendName(u)}
+		b.alive.Store(true)
+		bs = append(bs, b)
+	}
+	return bs
+}
+
+func TestRingDeterministic(t *testing.T) {
+	bs := makeBackends("http://a:1", "http://b:1", "http://c:1")
+	r1 := newRing(bs, 64)
+	r2 := newRing(makeBackends("http://a:1", "http://b:1", "http://c:1"), 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("tb%d|fw|load|B%d", i%7, i)
+		o1, o2 := r1.order(key), r2.order(key)
+		if len(o1) != 3 || len(o2) != 3 {
+			t.Fatalf("order(%q) incomplete: %d vs %d backends", key, len(o1), len(o2))
+		}
+		for j := range o1 {
+			if o1[j].URL != o2[j].URL {
+				t.Fatalf("order(%q)[%d] differs between identical rings: %s vs %s", key, j, o1[j].URL, o2[j].URL)
+			}
+		}
+	}
+}
+
+func TestRingCoversAllBackendsOnce(t *testing.T) {
+	bs := makeBackends("http://a:1", "http://b:1", "http://c:1", "http://d:1")
+	r := newRing(bs, 32)
+	order := r.order("tb1|fw|load|B1")
+	if len(order) != len(bs) {
+		t.Fatalf("order yielded %d backends, want %d", len(order), len(bs))
+	}
+	seen := map[*Backend]bool{}
+	for _, b := range order {
+		if seen[b] {
+			t.Fatalf("backend %s yielded twice", b.URL)
+		}
+		seen[b] = true
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	bs := makeBackends("http://a:1", "http://b:1", "http://c:1")
+	r := newRing(bs, 128)
+	counts := map[*Backend]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		var home *Backend
+		r.walk(fmt.Sprintf("tb%d|sut%d|tc|B%d", i%11, i%5, i), func(b *Backend) bool { home = b; return false })
+		counts[home]++
+	}
+	for b, n := range counts {
+		frac := float64(n) / keys
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("backend %s owns %.0f%% of keys — ring badly unbalanced", b.URL, 100*frac)
+		}
+	}
+}
+
+// TestRingRehomingIsMinimal is the property the whole design leans on:
+// removing one backend moves only the keys it owned (each to its next
+// clockwise neighbour), and its return restores the original map exactly.
+func TestRingRehomingIsMinimal(t *testing.T) {
+	bs := makeBackends("http://a:1", "http://b:1", "http://c:1")
+	r := newRing(bs, 64)
+	dead := bs[1]
+
+	homeWith := func(key string, skip *Backend) *Backend {
+		var home *Backend
+		r.walk(key, func(b *Backend) bool {
+			if b == skip {
+				return true // keep walking, as route() does for !Alive()
+			}
+			home = b
+			return false
+		})
+		return home
+	}
+
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("tb%d|fw|load|B%d", i%7, i)
+		before := homeWith(key, nil)
+		during := homeWith(key, dead)
+		after := homeWith(key, nil)
+		if before != after {
+			t.Fatalf("key %q did not re-home back after rejoin: %s -> %s", key, before.URL, after.URL)
+		}
+		if before == dead {
+			moved++
+			if during == dead {
+				t.Fatalf("key %q still routed to the dead backend", key)
+			}
+			// The failover target must be the key's second preference —
+			// the deterministic next-clockwise backend.
+			if want := r.order(key)[1]; during != want {
+				t.Fatalf("key %q failed over to %s, want next-clockwise %s", key, during.URL, want.URL)
+			}
+		} else if during != before {
+			t.Fatalf("key %q moved (%s -> %s) though its home never died", key, before.URL, during.URL)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: no key homed on the dead backend")
+	}
+}

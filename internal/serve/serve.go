@@ -285,6 +285,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/observe", s.handleObserve)
 	s.mux.HandleFunc("/quality", s.handleQuality)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statz", s.handleStatz)
 	s.mux.Handle("/metrics", reg)
 	if cfg.EnablePprof {
@@ -681,6 +682,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintln(w, "ok")
+}
+
+// Ready reports whether the server can usefully take traffic right now: a
+// bundle is loaded AND the admission queue is below the shed threshold.
+// This is the liveness/readiness split: /healthz answers "is the process
+// up with a model", /readyz answers "should a front tier route here" —
+// a saturated queue means new requests would be shed with 429, so the
+// proxy's failover deserves a truthful 503 instead.
+func (s *Server) Ready() error {
+	if s.bundle.Load() == nil {
+		return ErrNoModel
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		return ErrOverloaded
+	}
+	return nil
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if err := s.Ready(); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {

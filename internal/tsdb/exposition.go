@@ -139,6 +139,37 @@ func parseLabels(s string, into Labels) error {
 	return nil
 }
 
+// MergeExpositions merges several already-parsed expositions (see
+// ParseExposition) into one, tagging every series with tag=<part name> so
+// the merged page keeps per-origin attribution instead of silently summing
+// unrelated processes. Parts are written in sorted name order for stable
+// output; the original label sets are not mutated. A part whose series
+// already carry the tag label keeps its own value (the origin knows best).
+func MergeExpositions(w io.Writer, tag string, parts map[string][]Series) error {
+	names := make([]string, 0, len(parts))
+	for name := range parts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tagged := make([]Series, len(parts[name]))
+		for i, s := range parts[name] {
+			lbls := make(Labels, len(s.Labels)+1)
+			for k, v := range s.Labels {
+				lbls[k] = v
+			}
+			if _, ok := lbls[tag]; !ok && tag != "" {
+				lbls[tag] = name
+			}
+			tagged[i] = Series{Labels: lbls, Samples: s.Samples}
+		}
+		if err := WriteExposition(w, tagged); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteExposition renders series in the text exposition format, one line
 // per sample; the "__name__" label supplies the metric name (defaulting to
 // "metric" when absent).
