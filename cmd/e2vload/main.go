@@ -3,8 +3,9 @@
 // GET /statz, drives POST /predict from concurrent workers (optionally
 // rate-limited, optionally carrying synthetic ground truth to exercise
 // the quality monitor), and finishes by printing the client-side latency
-// picture — per target when several are given — and the server's own
-// per-stage p99 attribution from /statz.
+// picture — per target when several are given — the server's own
+// per-stage p99 attribution from /statz, and the slowest retained traces
+// from GET /traces as indented span trees (-slow-traces).
 //
 //	e2vload -addr http://localhost:9090 [-c 4] [-duration 10s] [-rps 0]
 //	        [-actuals 0] [-seed 1] [-envs 1]
@@ -21,6 +22,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -54,6 +56,7 @@ func run(args []string, w io.Writer) error {
 	rps := fs.Float64("rps", 0, "target aggregate requests/second (0 = unthrottled)")
 	actuals := fs.Float64("actuals", 0, "fraction of requests carrying synthetic ground truth (feeds the quality monitor)")
 	envs := fs.Int("envs", 1, "distinct environment tuples to spread requests over (build varies)")
+	slowTraces := fs.Int("slow-traces", 3, "slowest retained traces to print per target after the run (0 disables)")
 	seed := fs.Int64("seed", 1, "random seed for request generation")
 	_ = fs.Parse(args)
 	if *conc <= 0 {
@@ -193,12 +196,81 @@ func run(args []string, w io.Writer) error {
 			prefix, st.P50LatencyMS, st.P99LatencyMS, st.QueueWaitP99MS, st.LingerP99MS, st.ForwardP99MS)
 		fmt.Fprintf(w, "%s batches=%d max_batch_observed=%d rejected=%d\n",
 			prefix, st.Batches, st.MaxBatchObserved, st.Rejected)
-		if n := len(st.LatencyExemplars); n > 0 {
-			ex := st.LatencyExemplars[n-1]
-			fmt.Fprintf(w, "%s slowest-bucket exemplar: le=%s request_id=%s value=%.2fms\n", prefix, ex.LE, ex.RequestID, ex.Value)
+		if *slowTraces > 0 {
+			printSlowTraces(w, client, t.base, prefix, *slowTraces)
 		}
 	}
 	return nil
+}
+
+// printSlowTraces fetches the target's retained traces and prints the n
+// slowest as indented span trees — the per-request attribution that
+// replaced the old slowest-bucket exemplar line. A target without a
+// /traces endpoint (old binary) is skipped quietly.
+func printSlowTraces(w io.Writer, client *http.Client, base, prefix string, n int) {
+	resp, err := client.Get(base + "/traces?limit=0")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var tl obs.TraceList
+	if err := json.NewDecoder(resp.Body).Decode(&tl); err != nil {
+		return
+	}
+	sort.Slice(tl.Traces, func(i, j int) bool { return tl.Traces[i].DurationMS > tl.Traces[j].DurationMS })
+	if len(tl.Traces) > n {
+		tl.Traces = tl.Traces[:n]
+	}
+	for _, sum := range tl.Traces {
+		tResp, err := client.Get(base + "/traces/" + sum.TraceID)
+		if err != nil {
+			continue
+		}
+		var tr obs.Trace
+		err = json.NewDecoder(tResp.Body).Decode(&tr)
+		tResp.Body.Close()
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "%s slow trace %s: %.2fms outcome=%s spans=%d\n",
+			prefix, tr.TraceID, tr.DurationMS, tr.Outcome, len(tr.Spans))
+		printSpanTree(w, tr.Spans, "", 1)
+	}
+}
+
+// printSpanTree renders spans parented on parentID, indented one level per
+// generation. Spans whose parent is outside the trace (the caller's span)
+// surface at the root level.
+func printSpanTree(w io.Writer, spans []obs.Span, parentID string, depth int) {
+	known := make(map[string]bool, len(spans))
+	for _, sp := range spans {
+		known[sp.SpanID] = true
+	}
+	for _, sp := range spans {
+		local := known[sp.ParentID]
+		if (parentID == "" && local) || (parentID != "" && sp.ParentID != parentID) {
+			continue
+		}
+		fmt.Fprintf(w, "%s%s %.2fms %s\n", strings.Repeat("  ", depth), sp.Name, sp.DurationMS, attrLine(sp.Attrs))
+		printSpanTree(w, spans, sp.SpanID, depth+1)
+	}
+}
+
+// attrLine renders span attrs as stable k=v pairs.
+func attrLine(attrs map[string]string) string {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+attrs[k])
+	}
+	return strings.Join(parts, " ")
 }
 
 // fetchStats decodes GET /statz.

@@ -10,6 +10,7 @@ import (
 	"env2vec/internal/core"
 	"env2vec/internal/dataset"
 	"env2vec/internal/envmeta"
+	"env2vec/internal/obs"
 	"env2vec/internal/quality"
 	"env2vec/internal/serve"
 )
@@ -32,6 +33,8 @@ func loadTestServer(t *testing.T) (*serve.Server, *httptest.Server) {
 	s := serve.New(serve.Config{
 		MaxBatch: 8, MaxLinger: time.Millisecond, QueueDepth: 64, Workers: 2,
 		Quality: &quality.Config{},
+		// Keep every trace so the slow-trace report below is deterministic.
+		Trace: obs.TraceStoreConfig{Capacity: 256, SampleRate: 1},
 	})
 	t.Cleanup(s.Close)
 	s.SetBundle(b)
@@ -57,6 +60,10 @@ func TestLoadGeneratorDrivesServer(t *testing.T) {
 		"sent ",
 		"client latency p50=",
 		"forward p99=",
+		// The slow-trace report: N slowest retained traces as span trees.
+		"slow trace ",
+		"serve.request",
+		"serve.forward",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("output missing %q:\n%s", want, out.String())

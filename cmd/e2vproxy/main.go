@@ -16,7 +16,9 @@
 // routing metrics plus every live backend's exposition, labelled
 // backend="host:port"), GET /statz (forwarded to one live backend, so
 // load generators discover the model shape through the proxy), GET /fleet
-// (routing state), GET /healthz, GET /readyz.
+// (routing state), GET /traces and GET /traces/{id} (tail-sampled
+// distributed traces: proxy root + per-attempt spans stitched to the
+// backend's stage spans), GET /healthz, GET /readyz.
 package main
 
 import (
@@ -55,6 +57,9 @@ func run(args []string) error {
 	failAfter := fs.Int("fail-after", 2, "consecutive probe failures that take a backend out")
 	riseAfter := fs.Int("rise-after", 2, "consecutive probe successes that bring it back")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-attempt forward timeout")
+	traceCap := fs.Int("trace-capacity", 1024, "traces retained in the tail-sampled store behind GET /traces")
+	traceSample := fs.Float64("trace-sample", 0.1, "head-sampling rate for unremarkable traces (1 keeps all, <0 keeps none)")
+	traceSlowMS := fs.Float64("trace-slow-ms", 250, "latency above which a trace is always retained (<0 disables)")
 	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ handlers")
 	_ = fs.Parse(args)
@@ -87,6 +92,7 @@ func run(args []string) error {
 		FailAfter:     *failAfter,
 		RiseAfter:     *riseAfter,
 		Timeout:       *timeout,
+		Trace:         obs.TraceStoreConfig{Capacity: *traceCap, SampleRate: *traceSample, SlowMS: *traceSlowMS},
 		Obs:           obs.NewRegistry(),
 		Logger:        obs.NewLogger(os.Stderr, level, "proxy"),
 		EnablePprof:   *pprofOn,
@@ -101,7 +107,7 @@ func run(args []string) error {
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("listening", "addr", *addr, "backends", len(urls),
-			"endpoints", "POST /predict, POST /observe, GET /quality, GET /metrics, GET /statz, GET /fleet, GET /healthz, GET /readyz")
+			"endpoints", "POST /predict, POST /observe, GET /quality, GET /metrics, GET /statz, GET /fleet, GET /traces, GET /healthz, GET /readyz")
 		errc <- httpSrv.ListenAndServe()
 	}()
 

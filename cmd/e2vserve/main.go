@@ -17,8 +17,10 @@
 //	    primary down) and keeps DIR converged as a replica.
 //
 // Endpoints: POST /predict, POST /observe (deferred ground truth), GET
-// /quality (model-quality report), GET /healthz, GET /statz, GET /metrics
-// (Prometheus text format), and — with -pprof — GET /debug/pprof/.
+// /quality (model-quality report), GET /traces and GET /traces/{id}
+// (tail-sampled stage-span traces), GET /healthz, GET /statz, GET
+// /metrics (Prometheus text format), and — with -pprof — GET
+// /debug/pprof/.
 // The model-quality monitor is always on; point -alarmstore at an alarm
 // store to have drift alarms delivered there. Diagnostics go to stderr as
 // structured (slog) records; see docs/observability.md for metric names,
@@ -83,6 +85,9 @@ func run(args []string) error {
 	qMin := fs.Int("quality-min", 16, "observations per environment before drift verdicts fire")
 	qExceed := fs.Float64("quality-exceed-rate", 0.5, "fraction of the window beyond γ·σ that raises a drift alarm")
 	alarmURL := fs.String("alarmstore", "", "alarm-store base URL drift alarms are pushed to (empty = local only)")
+	traceCap := fs.Int("trace-capacity", 1024, "traces retained in the tail-sampled store behind GET /traces")
+	traceSample := fs.Float64("trace-sample", 0.1, "head-sampling rate for unremarkable traces (1 keeps all, <0 keeps none)")
+	traceSlowMS := fs.Float64("trace-slow-ms", 250, "latency above which a trace is always retained (<0 disables)")
 	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ handlers")
 	_ = fs.Parse(args)
@@ -105,6 +110,7 @@ func run(args []string) error {
 		QueueDepth:     *queue,
 		Workers:        *workers,
 		MinCalibration: *minCal,
+		Trace:          obs.TraceStoreConfig{Capacity: *traceCap, SampleRate: *traceSample, SlowMS: *traceSlowMS},
 		Obs:            reg,
 		Logger:         obs.NewLogger(os.Stderr, level, "serve"),
 		EnablePprof:    *pprofOn,
@@ -219,7 +225,7 @@ func run(args []string) error {
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("listening", "addr", *addr,
-			"endpoints", "POST /predict, POST /observe, GET /quality, GET /healthz, GET /statz, GET /metrics",
+			"endpoints", "POST /predict, POST /observe, GET /quality, GET /healthz, GET /statz, GET /metrics, GET /traces",
 			"alarmstore", *alarmURL, "pprof", *pprofOn)
 		errc <- httpSrv.ListenAndServe()
 	}()

@@ -37,10 +37,20 @@ go test -run 'LoadGenerator' ./cmd/e2vload/
 # The fleet front tier: ring/affinity/failover unit battery plus the
 # kill-a-backend e2e (two live serve.Servers behind the proxy, one killed
 # mid-load; zero client-visible errors, deterministic re-homing, fleet
-# /quality and /metrics reflect the survivor) — all under -race.
+# /quality and /metrics reflect the survivor, and the trace store retains
+# the failed-attempt + failover span trees within its capacity bound) —
+# all under -race.
 go vet ./cmd/e2vproxy
 go test -race ./internal/proxy/...
 go test -race -run 'TestE2EKillBackendFailover' ./internal/proxy/
+# Distributed tracing: tail-sampling policy and store bounds, the serve
+# side's stage spans parenting onto an inbound traceparent, the proxy
+# stitching backend spans into one cross-process tree, and tsdb scraping
+# the proxy's merged backend-labelled exposition without label collisions.
+go test -race ./internal/obs/ -run 'TraceStore|TraceParent|Span'
+go test -race -run 'TestPredictSpansParentOntoTraceparent|TestShedRequestTraceRetained' ./internal/serve/
+go test -race -run 'TestProxyTrace|TestProxyFailoverTraceSpans|TestProxyShedTraceRetained|TestProxySelfLatencyMetrics|TestE2EStitchedTraceAcrossProcesses' ./internal/proxy/
+go test -race -run 'TestScrapeProxyMergedExposition' ./internal/tsdb/
 # Registry long-poll: parked /versions and /latest pollers wake on publish.
 go test -race -run 'LongPoll' ./internal/modelserver/
 # The fused inference path: race-prove the scratch-arena pool and the

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	traceID, spanID := NewRequestID(), NewSpanID()
+	h := FormatTraceParent(traceID, spanID)
+	gotTrace, gotSpan, ok := ParseTraceParent(h)
+	if !ok || gotTrace != traceID || gotSpan != spanID {
+		t.Fatalf("ParseTraceParent(%q) = %q, %q, %v; want %q, %q, true", h, gotTrace, gotSpan, ok, traceID, spanID)
+	}
+	for _, bad := range []string{"", "00", "00-abc", "00--def-01", "00-abc--01", "00-a-b-c-01"} {
+		if _, _, ok := ParseTraceParent(bad); ok {
+			t.Errorf("ParseTraceParent(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestSpanCoversInterval(t *testing.T) {
+	start := time.Now()
+	end := start.Add(3 * time.Millisecond)
+	sp := NewSpan("trace1", "parent1", "op", start, end)
+	if sp.TraceID != "trace1" || sp.ParentID != "parent1" || sp.Name != "op" {
+		t.Fatalf("span identity wrong: %+v", sp)
+	}
+	if sp.SpanID == "" {
+		t.Fatal("span id not generated")
+	}
+	if sp.StartUnixUS != start.UnixMicro() {
+		t.Fatalf("start = %d, want %d", sp.StartUnixUS, start.UnixMicro())
+	}
+	if sp.DurationMS != 3 {
+		t.Fatalf("duration = %v, want 3", sp.DurationMS)
+	}
+	sp.SetAttr("k", "v")
+	if sp.Attrs["k"] != "v" {
+		t.Fatalf("attr not set: %+v", sp.Attrs)
+	}
+}
+
+// mkTrace builds a one-span trace for store tests.
+func mkTrace(id, outcome string, retried bool, durMS float64) Trace {
+	return Trace{
+		TraceID: id, Root: "test.request", Outcome: outcome, Retried: retried,
+		StartUnixUS: time.Now().UnixMicro(), DurationMS: durMS,
+		Spans: []Span{{TraceID: id, SpanID: "s-" + id, Name: "test.request", DurationMS: durMS}},
+	}
+}
+
+// TestTraceStoreTailSampling is the policy test: erred, shed, retried, and
+// slow traces are always retained; the unremarkable rest rides the coin.
+func TestTraceStoreTailSampling(t *testing.T) {
+	coin := 1.0 // start with a losing coin: head samples drop
+	reg := NewRegistry()
+	ts := NewTraceStore(TraceStoreConfig{
+		Capacity: 64, SlowMS: 100, SampleRate: 0.5,
+		randFloat: func() float64 { return coin },
+	}, reg)
+
+	ts.Add(mkTrace("t-failed", OutcomeFailed, false, 1))
+	ts.Add(mkTrace("t-shed", OutcomeShed, false, 1))
+	ts.Add(mkTrace("t-retried", OutcomeServed, true, 1))
+	ts.Add(mkTrace("t-slow", OutcomeServed, false, 150))
+	ts.Add(mkTrace("t-boring", OutcomeServed, false, 1))
+	for _, id := range []string{"t-failed", "t-shed", "t-retried", "t-slow"} {
+		if _, ok := ts.Get(id); !ok {
+			t.Errorf("tail-sampling dropped %s, which must always be retained", id)
+		}
+	}
+	if _, ok := ts.Get("t-boring"); ok {
+		t.Error("boring trace kept despite losing the sampling coin")
+	}
+
+	coin = 0.0 // winning coin: head sample keeps
+	ts.Add(mkTrace("t-lucky", OutcomeServed, false, 1))
+	if _, ok := ts.Get("t-lucky"); !ok {
+		t.Error("boring trace dropped despite winning the sampling coin")
+	}
+
+	// The kept/dropped counters tell the same story on /metrics.
+	var page strings.Builder
+	if _, err := reg.WriteTo(&page); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`env2vec_trace_kept_total{reason="failed"} 1`,
+		`env2vec_trace_kept_total{reason="shed"} 1`,
+		`env2vec_trace_kept_total{reason="retry"} 1`,
+		`env2vec_trace_kept_total{reason="slow"} 1`,
+		`env2vec_trace_kept_total{reason="sampled"} 1`,
+		`env2vec_trace_dropped_total 1`,
+		`env2vec_trace_completed_total 6`,
+		`env2vec_trace_stored 5`,
+	} {
+		if !strings.Contains(page.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, page.String())
+		}
+	}
+}
+
+func TestTraceStoreCapacityEviction(t *testing.T) {
+	reg := NewRegistry()
+	ts := NewTraceStore(TraceStoreConfig{Capacity: 4, SampleRate: -1}, reg)
+	for i := 0; i < 7; i++ {
+		ts.Add(mkTrace(fmt.Sprintf("t%d", i), OutcomeFailed, false, 1))
+	}
+	if got := ts.Len(); got != 4 {
+		t.Fatalf("Len = %d, want capacity bound 4", got)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := ts.Get(fmt.Sprintf("t%d", i)); ok {
+			t.Errorf("oldest trace t%d survived capacity eviction", i)
+		}
+	}
+	for i := 3; i < 7; i++ {
+		if _, ok := ts.Get(fmt.Sprintf("t%d", i)); !ok {
+			t.Errorf("recent trace t%d evicted", i)
+		}
+	}
+	if got := ts.evictedCapacity.Value(); got != 3 {
+		t.Fatalf("capacity evictions = %d, want 3", got)
+	}
+}
+
+func TestTraceStoreAgeEviction(t *testing.T) {
+	now := time.Now()
+	ts := NewTraceStore(TraceStoreConfig{
+		Capacity: 16, MaxAge: time.Minute, SampleRate: -1,
+		now: func() time.Time { return now },
+	}, nil)
+	ts.Add(mkTrace("old", OutcomeFailed, false, 1))
+	now = now.Add(30 * time.Second)
+	ts.Add(mkTrace("young", OutcomeFailed, false, 1))
+	now = now.Add(45 * time.Second) // old is now 75s stale, young 45s
+	if _, ok := ts.Get("old"); ok {
+		t.Error("trace older than MaxAge still retrievable")
+	}
+	if _, ok := ts.Get("young"); !ok {
+		t.Error("trace within MaxAge evicted")
+	}
+	if got := ts.Len(); got != 1 {
+		t.Fatalf("Len = %d after age purge, want 1", got)
+	}
+}
+
+func TestTraceStoreHTTP(t *testing.T) {
+	ts := NewTraceStore(TraceStoreConfig{Capacity: 16, SampleRate: -1}, nil)
+	ts.Add(mkTrace("aa11", OutcomeFailed, false, 5))
+	ts.Add(mkTrace("bb22", OutcomeShed, false, 1))
+	ts.Add(mkTrace("cc33", OutcomeServed, true, 300))
+	mux := http.NewServeMux()
+	mux.Handle("/traces", ts)
+	mux.Handle("/traces/", ts)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	getList := func(query string) TraceList {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/traces" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /traces%s: status %d", query, resp.StatusCode)
+		}
+		var tl TraceList
+		if err := json.NewDecoder(resp.Body).Decode(&tl); err != nil {
+			t.Fatal(err)
+		}
+		return tl
+	}
+
+	if tl := getList(""); tl.Count != 3 {
+		t.Fatalf("unfiltered list count = %d, want 3", tl.Count)
+	}
+	if tl := getList("?min_ms=100"); tl.Count != 1 || tl.Traces[0].TraceID != "cc33" {
+		t.Fatalf("min_ms filter: %+v", tl)
+	}
+	if tl := getList("?outcome=shed"); tl.Count != 1 || tl.Traces[0].TraceID != "bb22" {
+		t.Fatalf("outcome filter: %+v", tl)
+	}
+	if tl := getList("?limit=2"); tl.Count != 2 {
+		t.Fatalf("limit: %+v", tl)
+	}
+
+	resp, err := http.Get(srv.URL + "/traces/cc33")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Trace
+	err = json.NewDecoder(resp.Body).Decode(&tr)
+	resp.Body.Close()
+	if err != nil || tr.TraceID != "cc33" || !tr.Retried || len(tr.Spans) != 1 {
+		t.Fatalf("GET /traces/cc33 = %+v, err %v", tr, err)
+	}
+
+	resp, err = http.Get(srv.URL + "/traces/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+
+	postResp, err := http.Post(srv.URL+"/traces", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postResp.Body.Close()
+	if postResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /traces: status %d, want 405", postResp.StatusCode)
+	}
+}
+
+// TestTraceStoreConcurrent hammers Add/Get/List from many goroutines; the
+// -race battery in reproduce.sh gives this test its teeth.
+func TestTraceStoreConcurrent(t *testing.T) {
+	ts := NewTraceStore(TraceStoreConfig{Capacity: 32, SampleRate: 1}, NewRegistry())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("g%d-%d", g, i)
+				ts.Add(mkTrace(id, OutcomeServed, false, float64(i)))
+				ts.Get(id)
+				if i%17 == 0 {
+					ts.List(0, "", 10)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := ts.Len(); got > 32 {
+		t.Fatalf("Len = %d, exceeded capacity 32 under concurrency", got)
+	}
+}
+
+// A nil store must absorb the whole API without panicking, like the rest
+// of the obs layer.
+func TestTraceStoreNilSafe(t *testing.T) {
+	var ts *TraceStore
+	ts.Add(mkTrace("x", OutcomeFailed, false, 1))
+	if ts.Len() != 0 {
+		t.Fatal("nil store has nonzero length")
+	}
+	if _, ok := ts.Get("x"); ok {
+		t.Fatal("nil store returned a trace")
+	}
+	if ts.List(0, "", 10) != nil {
+		t.Fatal("nil store listed traces")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"env2vec/internal/core"
 	"env2vec/internal/dataset"
 	"env2vec/internal/envmeta"
+	"env2vec/internal/obs"
 	"env2vec/internal/quality"
 	"env2vec/internal/serve"
 )
@@ -48,6 +49,72 @@ func newE2EBackend(t *testing.T, seed int64) *e2eBackend {
 	return &e2eBackend{s: s, srv: srv}
 }
 
+// TestE2EStitchedTraceAcrossProcesses is the tracing acceptance test: one
+// request through proxy → real e2vserve yields one trace at the proxy's
+// GET /traces/{id} holding the proxy root, the forward attempt, and the
+// backend's serve.request root with its four stage spans — every parent
+// edge intact across the process boundary.
+func TestE2EStitchedTraceAcrossProcesses(t *testing.T) {
+	be := newE2EBackend(t, 3)
+	p := New(Config{
+		Backends: []string{be.srv.URL},
+		Trace:    obs.TraceStoreConfig{Capacity: 16, SampleRate: 1},
+	})
+	defer p.Close()
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	const reqID = "0123456789abcdef"
+	req, _ := http.NewRequest(http.MethodPost, front.URL+"/predict",
+		bytes.NewReader([]byte(`{"cf":[1,2,3],"window":[50,51],"testbed":"tb1","sut":"fw","testcase":"load","build":"B1"}`)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, reqID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: status %d", resp.StatusCode)
+	}
+
+	tResp, err := http.Get(front.URL + "/traces/" + reqID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tResp.Body.Close()
+	if tResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /traces/%s: status %d", reqID, tResp.StatusCode)
+	}
+	var tr obs.Trace
+	if err := json.NewDecoder(tResp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]obs.Span{}
+	for _, sp := range tr.Spans {
+		if sp.TraceID != reqID {
+			t.Fatalf("span %s carries trace id %q, want %q", sp.Name, sp.TraceID, reqID)
+		}
+		byName[sp.Name] = sp
+	}
+	root, att, srvRoot := byName["proxy.request"], byName["proxy.attempt"], byName["serve.request"]
+	if root.SpanID == "" || att.ParentID != root.SpanID {
+		t.Fatalf("proxy tree broken: root=%+v attempt=%+v", root, att)
+	}
+	if srvRoot.ParentID != att.SpanID {
+		t.Fatalf("backend root parents onto %q, want the attempt span %q", srvRoot.ParentID, att.SpanID)
+	}
+	for _, stage := range []string{"serve.queue_wait", "serve.linger", "serve.forward", "serve.encode"} {
+		sp, ok := byName[stage]
+		if !ok {
+			t.Fatalf("stitched trace missing stage span %s: %+v", stage, tr.Spans)
+		}
+		if sp.ParentID != srvRoot.SpanID {
+			t.Fatalf("%s parents onto %q, want serve.request %q", stage, sp.ParentID, srvRoot.SpanID)
+		}
+	}
+}
+
 // TestE2EKillBackendFailover is the fleet acceptance test: two real
 // e2vserve backends behind the proxy, one killed mid-load. Every client
 // request must still succeed within the retry budget, every environment
@@ -62,6 +129,10 @@ func TestE2EKillBackendFailover(t *testing.T) {
 		LoadFactor:   1, // disable bounded-load spill: this test asserts strict affinity
 		RetryBackoff: time.Millisecond,
 		Timeout:      5 * time.Second,
+		// Head sampling off, small capacity: only tail-remarkable traces
+		// (failed, shed, retried, slow) may be retained, and the kill below
+		// must not balloon the store past its bound.
+		Trace: obs.TraceStoreConfig{Capacity: 32, SampleRate: -1},
 	})
 	defer p.Close()
 	front := httptest.NewServer(p)
@@ -174,6 +245,52 @@ func TestE2EKillBackendFailover(t *testing.T) {
 		if got != survivor {
 			t.Fatalf("build B%d re-homed to %q, want %q", i, got, survivor)
 		}
+	}
+
+	// The kill leaves its mark in the trace store: at least one retained
+	// trace carries the failed attempt against the dead backend and the
+	// failover attempt that served it, stitched to the survivor's own
+	// stage spans — and the store stays within its capacity bound.
+	ts := p.Traces()
+	if got := ts.Len(); got > 32 {
+		t.Fatalf("trace store holds %d traces, capacity is 32", got)
+	}
+	sums := ts.List(0, "", 0)
+	if len(sums) == 0 {
+		t.Fatal("no traces retained despite a backend killed mid-load")
+	}
+	var sawFailover bool
+	for _, sum := range sums {
+		tr, ok := ts.Get(sum.TraceID)
+		if !ok {
+			continue // evicted between List and Get
+		}
+		if tr.Outcome == obs.OutcomeServed && !tr.Retried && tr.DurationMS < 250 {
+			t.Fatalf("unremarkable trace retained with head sampling off: %+v", sum)
+		}
+		if !tr.Retried {
+			continue
+		}
+		var failed, failover, stitched bool
+		for _, sp := range tr.Spans {
+			switch {
+			case sp.Name == "proxy.attempt" && sp.Attrs["outcome"] == "failed":
+				failed = true
+			case sp.Name == "proxy.attempt" && sp.Attrs["outcome"] == "failover":
+				failover = true
+			case sp.Name == "serve.request":
+				stitched = true
+			}
+		}
+		if failed && failover {
+			if !stitched {
+				t.Fatalf("failover trace %s missing the survivor's stitched spans: %+v", tr.TraceID, tr.Spans)
+			}
+			sawFailover = true
+		}
+	}
+	if !sawFailover {
+		t.Fatal("no retained trace shows a failed attempt followed by a failover attempt")
 	}
 
 	// Fleet /quality reflects the surviving pool and carries the drift

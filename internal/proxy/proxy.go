@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -52,6 +53,11 @@ type Config struct {
 	// /observe sticky to the backend that served the prediction
 	// (default 16384, FIFO eviction).
 	PendingCap int
+	// Trace sizes the tail-sampled trace store behind GET /traces: every
+	// routed request's span tree (root + one span per forward attempt +
+	// the backend's stitched stage spans) is offered to it on completion.
+	// Zero-value fields get the obs.TraceStoreConfig defaults.
+	Trace obs.TraceStoreConfig
 
 	// Obs is the metrics registry the proxy instruments itself into; nil
 	// gets a private registry. Served (merged with the fleet's) at /metrics.
@@ -92,6 +98,16 @@ type Proxy struct {
 	rehomed              *obs.Counter
 	scrapeErrors         *obs.Counter
 	stickyMiss           *obs.Counter
+
+	// Self-latency instrumentation: where the proxy's own tail lives —
+	// end-to-end by outcome, per forward attempt, and backoff waits.
+	latServed, latShed, latFailed *obs.Histogram
+	attemptOK, attemptErr         *obs.Histogram
+	backoffWait                   *obs.Histogram
+
+	// traces retains completed span trees with tail-based sampling,
+	// served at GET /traces and GET /traces/{id}.
+	traces *obs.TraceStore
 
 	healthCancel         context.CancelFunc
 	healthDone           chan struct{}
@@ -164,6 +180,15 @@ func New(cfg Config) *Proxy {
 	p.stickyMiss = reg.Counter("env2vec_proxy_observe_misses_total", "POST /observe requests whose request id had no recorded backend.", nil)
 	reg.GaugeFunc("env2vec_proxy_inflight", "Requests currently being forwarded, pool-wide.", nil, func() float64 { return float64(p.totalInflight.Load()) })
 	reg.Gauge("env2vec_proxy_inflight_capacity", "Pool-wide in-flight bound; overflow is shed with 429.", nil).Set(float64(cfg.MaxInflight))
+	latHelp := "Proxy self-latency, admission to response, by outcome."
+	p.latServed = reg.Histogram("env2vec_proxy_request_latency_ms", latHelp, obs.DefLatencyBuckets, obs.Labels{"outcome": "served"})
+	p.latShed = reg.Histogram("env2vec_proxy_request_latency_ms", latHelp, obs.DefLatencyBuckets, obs.Labels{"outcome": "shed"})
+	p.latFailed = reg.Histogram("env2vec_proxy_request_latency_ms", latHelp, obs.DefLatencyBuckets, obs.Labels{"outcome": "failed"})
+	attHelp := "Per-forward-attempt latency, by transport outcome."
+	p.attemptOK = reg.Histogram("env2vec_proxy_attempt_latency_ms", attHelp, obs.DefLatencyBuckets, obs.Labels{"outcome": "ok"})
+	p.attemptErr = reg.Histogram("env2vec_proxy_attempt_latency_ms", attHelp, obs.DefLatencyBuckets, obs.Labels{"outcome": "error"})
+	p.backoffWait = reg.Histogram("env2vec_proxy_backoff_wait_ms", "Backoff slept between one request's forward attempts.", obs.DefLatencyBuckets, nil)
+	p.traces = obs.NewTraceStore(cfg.Trace, reg)
 
 	for _, url := range cfg.Backends {
 		url = strings.TrimRight(url, "/")
@@ -209,6 +234,8 @@ func New(cfg Config) *Proxy {
 	p.mux.HandleFunc("/fleet", p.handleFleet)
 	p.mux.HandleFunc("/healthz", p.handleHealthz)
 	p.mux.HandleFunc("/readyz", p.handleHealthz) // same truth at the proxy: routable backends exist
+	p.mux.Handle("/traces", p.traces)
+	p.mux.Handle("/traces/", p.traces)
 	if cfg.EnablePprof {
 		obs.RegisterPprof(p.mux)
 	}
@@ -249,6 +276,9 @@ func (p *Proxy) Backends() []*Backend { return p.backends }
 
 // Metrics returns the proxy's own metrics registry.
 func (p *Proxy) Metrics() *obs.Registry { return p.reg }
+
+// Traces returns the proxy's tail-sampled trace store.
+func (p *Proxy) Traces() *obs.TraceStore { return p.traces }
 
 // Home returns the ring-home backend for an environment key — the
 // deterministic owner when every backend is alive. Tests and rebalancing
@@ -362,7 +392,7 @@ func (p *Proxy) handleObserve(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusNotFound, "unknown or expired request id")
 		return
 	}
-	status, hdr, respBody, err := p.attempt(b, "/observe", body, req.RequestID)
+	status, hdr, respBody, err := p.attempt(b, "/observe", body, req.RequestID, "")
 	if err != nil {
 		jsonError(w, http.StatusBadGateway, "backend "+b.name+": "+err.Error())
 		return
@@ -373,9 +403,45 @@ func (p *Proxy) handleObserve(w http.ResponseWriter, r *http.Request) {
 // forward routes one request along its ring candidates with the retry
 // budget and exponential backoff, relaying the first conclusive response.
 // onServed runs with the backend that produced a 2xx (sticky bookkeeping).
+//
+// Every terminal path records a trace: a proxy.request root span, one
+// proxy.attempt child per forward try (backend, attempt number, backoff
+// wait, outcome), and — on a conclusive answer — the backend's own stage
+// spans stitched out of its response body, parented onto the attempt that
+// carried them via the traceparent header.
 func (p *Proxy) forward(w http.ResponseWriter, key, path string, body []byte, reqID string, onServed func(*Backend)) {
+	t0 := time.Now()
+	rootID := obs.NewSpanID()
+	var spans []obs.Span
+	attempts := 0
+	finish := func(outcome, errMsg string) {
+		dur := obs.MS(time.Since(t0))
+		root := obs.Span{
+			TraceID: reqID, SpanID: rootID, Name: "proxy.request",
+			StartUnixUS: t0.UnixMicro(), DurationMS: dur,
+		}
+		root.SetAttr("outcome", outcome)
+		root.SetAttr("path", path)
+		if errMsg != "" {
+			root.SetAttr("error", errMsg)
+		}
+		switch outcome {
+		case obs.OutcomeServed:
+			p.latServed.ObserveExemplar(dur, reqID)
+		case obs.OutcomeShed:
+			p.latShed.ObserveExemplar(dur, reqID)
+		default:
+			p.latFailed.ObserveExemplar(dur, reqID)
+		}
+		p.traces.Add(obs.Trace{
+			TraceID: reqID, Root: root.Name, Outcome: outcome, Retried: attempts > 1,
+			StartUnixUS: root.StartUnixUS, DurationMS: dur,
+			Spans: append([]obs.Span{root}, spans...),
+		})
+	}
 	if p.totalInflight.Load() >= int64(p.cfg.MaxInflight) {
 		p.shed.Inc()
+		finish(obs.OutcomeShed, "proxy: pool saturated")
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "proxy: pool saturated", http.StatusTooManyRequests)
 		return
@@ -383,6 +449,7 @@ func (p *Proxy) forward(w http.ResponseWriter, key, path string, body []byte, re
 	candidates := p.route(key)
 	if len(candidates) == 0 {
 		p.failed.Inc()
+		finish(obs.OutcomeFailed, "proxy: no live backends")
 		http.Error(w, "proxy: no live backends", http.StatusServiceUnavailable)
 		return
 	}
@@ -390,16 +457,32 @@ func (p *Proxy) forward(w http.ResponseWriter, key, path string, body []byte, re
 	var lastStatus int
 	var lastErr error
 	for i, b := range candidates {
+		waited := time.Duration(0)
 		if i > 0 {
 			p.retries.Inc()
+			waited = backoff
 			time.Sleep(backoff)
+			p.backoffWait.Observe(obs.MS(waited))
 			backoff *= 2
 		}
-		status, hdr, respBody, err := p.attempt(b, path, body, reqID)
+		attempts++
+		span := obs.Span{TraceID: reqID, SpanID: obs.NewSpanID(), ParentID: rootID, Name: "proxy.attempt"}
+		span.SetAttr("backend", b.name)
+		span.SetAttr("attempt", strconv.Itoa(attempts))
+		if waited > 0 {
+			span.SetAttr("backoff_wait_ms", strconv.FormatFloat(obs.MS(waited), 'g', -1, 64))
+		}
+		aStart := time.Now()
+		span.StartUnixUS = aStart.UnixMicro()
+		status, hdr, respBody, err := p.attempt(b, path, body, reqID, span.SpanID)
+		span.DurationMS = obs.MS(time.Since(aStart))
 		if err != nil {
 			// Transport-level failure: the backend is suspect. Report it to
 			// the health state machine so the ring converges faster than the
 			// next probe tick, and try the next candidate.
+			span.SetAttr("outcome", "failed")
+			span.SetAttr("error", err.Error())
+			spans = append(spans, span)
 			p.health.reportFailure(b)
 			lastErr = err
 			p.log.Debug("forward failed, failing over", "backend", b.name, "path", path, "err", err)
@@ -409,12 +492,23 @@ func (p *Proxy) forward(w http.ResponseWriter, key, path string, body []byte, re
 			// 429: the backend's queue is full — spill clockwise (the
 			// bounded-load escape hatch). 502/503: it is up but cannot serve
 			// (no model yet, shutting down); the next candidate might.
+			if status == http.StatusTooManyRequests {
+				span.SetAttr("outcome", "shed")
+			} else {
+				span.SetAttr("outcome", "refused")
+			}
+			span.SetAttr("status", strconv.Itoa(status))
+			spans = append(spans, span)
 			lastStatus = status
 			p.log.Debug("backend refused, failing over", "backend", b.name, "status", status)
 			continue
 		}
+		outcome := obs.OutcomeServed
 		if i > 0 {
 			p.failovers.Inc()
+			span.SetAttr("outcome", "failover")
+		} else {
+			span.SetAttr("outcome", "served")
 		}
 		if status < 300 {
 			p.served.Inc()
@@ -424,7 +518,13 @@ func (p *Proxy) forward(w http.ResponseWriter, key, path string, body []byte, re
 			}
 		} else {
 			p.failed.Inc() // conclusive client error (400 etc.) — relay, don't mask
+			outcome = obs.OutcomeFailed
+			span.SetAttr("outcome", "error")
+			span.SetAttr("status", strconv.Itoa(status))
 		}
+		spans = append(spans, span)
+		spans = append(spans, backendSpans(respBody)...)
+		finish(outcome, "")
 		relay(w, status, hdr, respBody, b)
 		return
 	}
@@ -433,18 +533,38 @@ func (p *Proxy) forward(w http.ResponseWriter, key, path string, body []byte, re
 	switch {
 	case lastStatus == http.StatusTooManyRequests:
 		p.shed.Inc()
+		finish(obs.OutcomeShed, "proxy: fleet saturated")
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "proxy: fleet saturated", http.StatusTooManyRequests)
 	case lastStatus != 0:
+		finish(obs.OutcomeFailed, fmt.Sprintf("all candidates refused (last status %d)", lastStatus))
 		http.Error(w, fmt.Sprintf("proxy: all candidates refused (last status %d)", lastStatus), http.StatusServiceUnavailable)
 	default:
+		finish(obs.OutcomeFailed, "all candidates unreachable: "+lastErr.Error())
 		http.Error(w, "proxy: all candidates unreachable: "+lastErr.Error(), http.StatusBadGateway)
 	}
 }
 
+// backendSpans extracts the backend's span tree from a forwarded response
+// body. Nil on bodies without one (errors, /observe) — stitching is
+// best-effort by design.
+func backendSpans(body []byte) []obs.Span {
+	var resp struct {
+		Trace struct {
+			Spans []obs.Span `json:"spans"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil
+	}
+	return resp.Trace.Spans
+}
+
 // attempt forwards one request to one backend, returning its status,
 // headers of interest, and body. Transport errors are returned as err.
-func (p *Proxy) attempt(b *Backend, path string, body []byte, reqID string) (int, http.Header, []byte, error) {
+// parentSpanID, when set, rides the traceparent header so the backend's
+// spans parent onto this attempt.
+func (p *Proxy) attempt(b *Backend, path string, body []byte, reqID, parentSpanID string) (int, http.Header, []byte, error) {
 	b.inflight.Add(1)
 	p.totalInflight.Add(1)
 	defer func() {
@@ -458,20 +578,27 @@ func (p *Proxy) attempt(b *Backend, path string, body []byte, reqID string) (int
 	req.Header.Set("Content-Type", "application/json")
 	if reqID != "" {
 		req.Header.Set(obs.RequestIDHeader, reqID)
+		if parentSpanID != "" {
+			req.Header.Set(obs.TraceParentHeader, obs.FormatTraceParent(reqID, parentSpanID))
+		}
 	}
 	t0 := time.Now()
 	resp, err := p.client.Do(req)
 	if err != nil {
 		b.failed.Inc()
+		p.attemptErr.Observe(obs.MS(time.Since(t0)))
 		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	respBody, err := io.ReadAll(resp.Body)
 	if err != nil {
 		b.failed.Inc()
+		p.attemptErr.Observe(obs.MS(time.Since(t0)))
 		return 0, nil, nil, err
 	}
-	b.latency.ObserveExemplar(obs.MS(time.Since(t0)), reqID)
+	ms := obs.MS(time.Since(t0))
+	p.attemptOK.Observe(ms)
+	b.latency.ObserveExemplar(ms, reqID)
 	return resp.StatusCode, resp.Header, respBody, nil
 }
 

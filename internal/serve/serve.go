@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +63,12 @@ type Config struct {
 	// an evicted id returns 404.
 	PendingCap int
 
+	// Trace sizes the tail-sampled trace store behind GET /traces: every
+	// HTTP request's span tree is offered to it on completion, and failed,
+	// shed, or slow traces are retained preferentially. Zero-value fields
+	// get the obs.TraceStoreConfig defaults.
+	Trace obs.TraceStoreConfig
+
 	// Obs, when non-nil, is the metrics registry the server instruments
 	// itself into; nil gets a private registry. Either way the metrics are
 	// served at GET /metrics in Prometheus text format.
@@ -102,6 +109,12 @@ type Request struct {
 	// Do generates one. It is echoed in the response trace block (and the
 	// X-Request-ID response header on the HTTP path).
 	RequestID string `json:"request_id,omitempty"`
+
+	// TraceParent carries the caller's traceparent-style propagation header
+	// (see obs.TraceParentHeader): the server's spans parent onto the named
+	// caller-side span, so a front tier can stitch this process's stage
+	// spans into its own trace tree. Header-only — never part of the body.
+	TraceParent string `json:"-"`
 }
 
 // Response is the service's answer for one request.
@@ -130,6 +143,12 @@ type Trace struct {
 	ForwardMS   float64 `json:"forward_ms"`          // batch assembly + shared forward pass
 	EncodeMS    float64 `json:"encode_ms,omitempty"` // response JSON encoding (HTTP path only)
 	TotalMS     float64 `json:"total_ms"`            // admission → response ready
+
+	// Spans recasts the stage timings above as a span tree: a serve.request
+	// root (parented onto the caller's span when the request carried a
+	// traceparent header) with one child per stage. Additive — the flat
+	// fields stay wire-compatible for existing clients.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // item is one in-flight request inside the batching machinery.
@@ -194,6 +213,10 @@ type Server struct {
 	// Model-quality monitoring (nil when Config.Quality is nil).
 	monitor *quality.Monitor
 	pusher  *quality.Async
+
+	// traces retains completed span trees with tail-based sampling,
+	// served at GET /traces and GET /traces/{id}.
+	traces *obs.TraceStore
 
 	// pending maps request ids of unobserved predictions to what POST
 	// /observe needs to close the loop; bounded FIFO eviction at PendingCap.
@@ -280,8 +303,11 @@ func New(cfg Config) *Server {
 		s.monitor = quality.NewMonitor(*cfg.Quality, reg, s.pusher)
 		s.pending = make(map[string]pendingPrediction)
 	}
+	s.traces = obs.NewTraceStore(cfg.Trace, reg)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.Handle("/traces", s.traces)
+	s.mux.Handle("/traces/", s.traces)
 	s.mux.HandleFunc("/observe", s.handleObserve)
 	s.mux.HandleFunc("/quality", s.handleQuality)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -327,6 +353,9 @@ func (s *Server) Bundle() *Bundle { return s.bundle.Load() }
 // Metrics returns the registry the server instruments itself into, so the
 // embedding daemon can add its own metrics to the same /metrics page.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Traces returns the tail-sampled trace store behind GET /traces.
+func (s *Server) Traces() *obs.TraceStore { return s.traces }
 
 // Close stops admission, drains every queued request through the workers,
 // and waits for them to finish. Safe to call once.
@@ -516,12 +545,21 @@ func (s *Server) runBatch(items []*item) {
 
 	batchID := s.batchSeq.Add(1)
 	s.batchSizes.Observe(float64(n))
-	fwdMS := obs.MS(time.Since(start))
+	fwdEnd := time.Now()
+	fwdMS := obs.MS(fwdEnd.Sub(start))
 	for i, it := range valid {
 		queueMS, lingerMS := obs.MS(it.deq.Sub(it.enq)), obs.MS(start.Sub(it.deq))
 		s.stageQueue.ObserveExemplar(queueMS, it.id)
 		s.stageLinger.ObserveExemplar(lingerMS, it.id)
 		s.stageFwd.ObserveExemplar(fwdMS, it.id)
+		// The same stage timings, recast as a span tree: the root parents
+		// onto the caller's span when the request carried a traceparent
+		// header, so a front tier can stitch these into its own trace.
+		root := obs.NewSpan(it.id, parentSpan(it.req), "serve.request", it.enq, fwdEnd)
+		root.SetAttr("outcome", obs.OutcomeServed)
+		fwd := obs.NewSpan(it.id, root.SpanID, "serve.forward", start, fwdEnd)
+		fwd.SetAttr("batch_id", strconv.FormatUint(batchID, 10))
+		fwd.SetAttr("batch_size", strconv.Itoa(n))
 		resp := &Response{
 			Prediction:   preds[i],
 			Model:        b.Name,
@@ -533,6 +571,12 @@ func (s *Server) runBatch(items []*item) {
 				QueueWaitMS: queueMS,
 				LingerMS:    lingerMS,
 				ForwardMS:   fwdMS,
+				Spans: []obs.Span{
+					root,
+					obs.NewSpan(it.id, root.SpanID, "serve.queue_wait", it.enq, it.deq),
+					obs.NewSpan(it.id, root.SpanID, "serve.linger", it.deq, start),
+					fwd,
+				},
 			},
 		}
 		if s.cfg.Detect != nil && it.req.Actual != nil {
@@ -584,6 +628,32 @@ func (s *Server) takePending(id string) (pendingPrediction, bool) {
 	return p, ok
 }
 
+// parentSpan extracts the caller-side parent span id from a request's
+// traceparent header, empty when absent or malformed (fresh root).
+func parentSpan(req *Request) string {
+	if req.TraceParent == "" {
+		return ""
+	}
+	_, spanID, ok := obs.ParseTraceParent(req.TraceParent)
+	if !ok {
+		return ""
+	}
+	return spanID
+}
+
+// storeTrace offers one completed span tree to the tail-sampled store.
+func (s *Server) storeTrace(id, outcome string, spans []obs.Span) {
+	if len(spans) == 0 {
+		return
+	}
+	root := spans[0]
+	s.traces.Add(obs.Trace{
+		TraceID: id, Root: root.Name, Outcome: outcome,
+		StartUnixUS: root.StartUnixUS, DurationMS: root.DurationMS,
+		Spans: append([]obs.Span(nil), spans...),
+	})
+}
+
 func done(it *item) bool {
 	select {
 	case <-it.done:
@@ -633,6 +703,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	t0 := time.Now()
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "invalid request: "+err.Error(), http.StatusBadRequest)
@@ -644,6 +715,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if id := r.Header.Get(obs.RequestIDHeader); id != "" {
 		req.RequestID = id
 	}
+	req.TraceParent = r.Header.Get(obs.TraceParentHeader)
 	resp, code, err := s.Do(&req)
 	if req.RequestID != "" {
 		w.Header().Set(obs.RequestIDHeader, req.RequestID)
@@ -651,6 +723,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if code == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
+		}
+		// Shed and failed requests are exactly the tail the trace store
+		// keeps preferentially; record a root-only trace for them.
+		if req.RequestID != "" {
+			outcome := obs.OutcomeFailed
+			if code == http.StatusTooManyRequests {
+				outcome = obs.OutcomeShed
+			}
+			root := obs.NewSpan(req.RequestID, parentSpan(&req), "serve.request", t0, time.Now())
+			root.SetAttr("outcome", outcome)
+			root.SetAttr("error", err.Error())
+			s.storeTrace(req.RequestID, outcome, []obs.Span{root})
 		}
 		http.Error(w, err.Error(), code)
 		return
@@ -660,7 +744,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// costs little and keeps the reported trace self-consistent.
 	encStart := time.Now()
 	buf, merr := json.Marshal(resp)
-	encMS := obs.MS(time.Since(encStart))
+	encEnd := time.Now()
+	encMS := obs.MS(encEnd.Sub(encStart))
 	s.stageEncode.Observe(encMS)
 	if merr != nil {
 		http.Error(w, merr.Error(), http.StatusInternalServerError)
@@ -668,9 +753,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	if resp.Trace != nil {
 		resp.Trace.EncodeMS = encMS
+		if len(resp.Trace.Spans) > 0 {
+			root := &resp.Trace.Spans[0]
+			root.DurationMS += encMS // the root covers encoding too
+			resp.Trace.Spans = append(resp.Trace.Spans,
+				obs.NewSpan(req.RequestID, root.SpanID, "serve.encode", encStart, encEnd))
+		}
 		if buf2, err2 := json.Marshal(resp); err2 == nil {
 			buf = buf2
 		}
+		s.storeTrace(req.RequestID, obs.OutcomeServed, resp.Trace.Spans)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(append(buf, '\n'))
