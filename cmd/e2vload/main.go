@@ -57,6 +57,7 @@ func run(args []string, w io.Writer) error {
 	actuals := fs.Float64("actuals", 0, "fraction of requests carrying synthetic ground truth (feeds the quality monitor)")
 	envs := fs.Int("envs", 1, "distinct environment tuples to spread requests over (build varies)")
 	slowTraces := fs.Int("slow-traces", 3, "slowest retained traces to print per target after the run (0 disables)")
+	alertsURL := fs.String("alerts", "", "tsdbd base URL; after the run, fetch /alerts and fail if any alert is firing")
 	seed := fs.Int64("seed", 1, "random seed for request generation")
 	_ = fs.Parse(args)
 	if *conc <= 0 {
@@ -200,6 +201,47 @@ func run(args []string, w io.Writer) error {
 			printSlowTraces(w, client, t.base, prefix, *slowTraces)
 		}
 	}
+	if *alertsURL != "" {
+		return checkAlerts(w, client, *alertsURL)
+	}
+	return nil
+}
+
+// checkAlerts fetches the monitoring plane's active alerts and turns a
+// firing alert into a non-zero exit — so a load run doubles as an SLO
+// gate in scripts and CI.
+func checkAlerts(w io.Writer, client *http.Client, base string) error {
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/alerts")
+	if err != nil {
+		return fmt.Errorf("alerts: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("alerts: status %d", resp.StatusCode)
+	}
+	var payload struct {
+		Data []struct {
+			Name        string            `json:"name"`
+			State       string            `json:"state"`
+			Labels      map[string]string `json:"labels"`
+			Annotations map[string]string `json:"annotations"`
+			Value       float64           `json:"value"`
+		} `json:"data"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return fmt.Errorf("alerts: decode: %w", err)
+	}
+	firing := 0
+	for _, a := range payload.Data {
+		if a.State == "firing" {
+			firing++
+		}
+		fmt.Fprintf(w, "alert %s %s value=%.3g %s\n", a.State, a.Name, a.Value, a.Annotations["summary"])
+	}
+	if firing > 0 {
+		return fmt.Errorf("%d alert(s) firing", firing)
+	}
+	fmt.Fprintf(w, "alerts: %d active, none firing\n", len(payload.Data))
 	return nil
 }
 

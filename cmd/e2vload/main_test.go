@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -136,5 +138,44 @@ func TestLoadGeneratorShapeDiscoveryFallsBack(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "targets 2 model=test/v1") {
 		t.Fatalf("discovery fallback failed:\n%s", out.String())
+	}
+}
+
+// TestLoadGeneratorAlertsGate: with -alerts, the run fails when the
+// monitoring plane reports a firing alert and passes when it doesn't.
+func TestLoadGeneratorAlertsGate(t *testing.T) {
+	_, srv := loadTestServer(t)
+
+	firing := true
+	alerts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/alerts" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if firing {
+			fmt.Fprint(w, `{"status":"success","data":[{"name":"ServeAvailabilityFastBurn","state":"firing","value":22.5,"annotations":{"summary":"budget burning"}}]}`)
+		} else {
+			fmt.Fprint(w, `{"status":"success","data":[]}`)
+		}
+	}))
+	t.Cleanup(alerts.Close)
+
+	var out bytes.Buffer
+	err := run([]string{"-addr", srv.URL, "-duration", "100ms", "-slow-traces", "0", "-alerts", alerts.URL}, &out)
+	if err == nil || !strings.Contains(err.Error(), "firing") {
+		t.Fatalf("expected firing-alert failure, got %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "alert firing ServeAvailabilityFastBurn") {
+		t.Fatalf("firing alert not printed:\n%s", out.String())
+	}
+
+	firing = false
+	out.Reset()
+	if err := run([]string{"-addr", srv.URL, "-duration", "100ms", "-slow-traces", "0", "-alerts", alerts.URL}, &out); err != nil {
+		t.Fatalf("clean alerts should pass: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "none firing") {
+		t.Fatalf("clean summary missing:\n%s", out.String())
 	}
 }

@@ -96,3 +96,108 @@ func TestTSDBDMetricsScrape(t *testing.T) {
 		}
 	}
 }
+
+func TestTSDBDRejectsConflictingRuleFlags(t *testing.T) {
+	bin := buildTSDBD(t)
+	sd := filepath.Join(t.TempDir(), "sd.json")
+	if err := os.WriteFile(sd, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-sd", sd, "-rules", "r.json", "-default-slo-rules").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("conflicting flags: err=%v out=%q", err, out)
+	}
+	if !strings.Contains(string(out), "mutually exclusive") {
+		t.Fatalf("missing conflict message: %q", out)
+	}
+	out, err = exec.Command(bin, "-sd", sd, "-default-slo-rules", "-slo-objective", "1.5").CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("bad objective: err=%v out=%q", err, out)
+	}
+}
+
+func TestTSDBDRejectsBadRulesFile(t *testing.T) {
+	bin := buildTSDBD(t)
+	dir := t.TempDir()
+	sd := filepath.Join(dir, "sd.json")
+	if err := os.WriteFile(sd, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rules := filepath.Join(dir, "rules.json")
+	if err := os.WriteFile(rules, []byte(`{"alerting":[{"name":"x","expr":"sum("}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-sd", sd, "-rules", rules).CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("bad rules file: err=%v out=%q", err, out)
+	}
+}
+
+// TestTSDBDMonitoringEndpoints boots the daemon with the built-in SLO
+// rules and smoke-tests the monitoring plane's HTTP surface.
+func TestTSDBDMonitoringEndpoints(t *testing.T) {
+	bin := buildTSDBD(t)
+	sd := filepath.Join(t.TempDir(), "sd.json")
+	if err := os.WriteFile(sd, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	cmd := exec.Command(bin, "-sd", sd, "-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-interval", "50ms", "-default-slo-rules", "-retention", "1h", "-log-level", "error")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+
+	get := func(path string) (int, string) {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(fmt.Sprintf("http://127.0.0.1:%d%s", port, path))
+			if err == nil {
+				b, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr == nil {
+					return resp.StatusCode, string(b)
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("GET %s never answered (last err %v)", path, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	if code, body := get("/alerts"); code != http.StatusOK || !strings.Contains(body, `"status":"success"`) {
+		t.Fatalf("/alerts: %d %q", code, body)
+	}
+	if code, body := get("/dashboard"); code != http.StatusOK || !strings.Contains(body, "fleet health") {
+		t.Fatalf("/dashboard: %d %.120q", code, body)
+	}
+	if code, body := get("/query?expr=" + "1%2B1"); code != http.StatusOK || !strings.Contains(body, `"value":2`) {
+		t.Fatalf("/query scalar: %d %q", code, body)
+	}
+	if code, _ := get("/query?expr=sum%28"); code != http.StatusBadRequest {
+		t.Fatalf("/query bad expr: %d", code)
+	}
+	_, body := get("/metrics")
+	for _, want := range []string{
+		"tsdb_rule_evals_total",
+		"tsdb_rule_reloads_total",
+		"tsdb_alerts_pending",
+		"tsdb_alerts_firing",
+		"tsdb_evicted_samples_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics page missing %q", want)
+		}
+	}
+}

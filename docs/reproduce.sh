@@ -60,5 +60,21 @@ go test -race ./internal/infer/ ./internal/core/
 go test -run '^$' -bench 'Forward(Tape|Infer)' -benchmem -count 1 ./internal/infer/ \
     | tee docs/outputs/bench_infer.txt \
     | go run ./cmd/benchjson > docs/outputs/BENCH_infer.json
+# The monitoring plane (docs/observability.md "Monitoring plane"): query
+# engine fixtures (counter-reset rate, histogram_quantile vs synthetic
+# buckets), the rules engine's pending->firing state machine and hot
+# reload under -race, retention/eviction, the parallel scrape pool, the
+# dashboard render, and the full burn-rate e2e: live serve.Server behind
+# a proxy, scraped by tsdb, error injection drives the fast-burn rule
+# pending->firing, alarm lands in the alarmstore with source=slo.
+go test -race ./internal/tsdb/
+go test -race -run 'TestMonitoringPlaneBurnRateE2E|TestQueryHTTPFixtures' ./internal/tsdb/
+go test -run 'TestTSDBDMonitoringEndpoints|TestLoadGeneratorAlertsGate' ./cmd/tsdbd/ ./cmd/e2vload/
+go test -run 'TestSourceFilter' ./internal/alarmstore/
+# Serving-path benchmark baseline (batch forward + /predict encode),
+# committed machine-readable for future serving PRs to diff against.
+go test -run '^$' -bench 'BenchmarkServe' -benchmem -count 1 ./internal/serve/ \
+    | tee docs/outputs/bench_serve.txt \
+    | go run ./cmd/benchjson > docs/outputs/BENCH_serve.json
 go run ./cmd/kdnbench -seeds 2 | tee docs/outputs/kdnbench.txt
 go run ./cmd/telecombench -slow -csv docs/outputs/figures | tee docs/outputs/telecombench.txt

@@ -22,10 +22,15 @@ import (
 
 // Record is one stored alarm row.
 type Record struct {
-	ID        int           `json:"id"`
-	CreatedAt int64         `json:"created_at"` // unix seconds
-	Alarm     anomaly.Alarm `json:"alarm"`
-	Ack       bool          `json:"ack"` // acknowledged by an engineer
+	ID        int   `json:"id"`
+	CreatedAt int64 `json:"created_at"` // unix seconds
+	// Source classifies the producer: "drift" (model-quality monitor) or
+	// "slo" (the monitoring plane's burn-rate rules), so both kinds share
+	// one store yet stay separable. Derived from the alarm at push time;
+	// alarms without a source are drift alarms (the original producer).
+	Source string        `json:"source"`
+	Alarm  anomaly.Alarm `json:"alarm"`
+	Ack    bool          `json:"ack"` // acknowledged by an engineer
 }
 
 // Store is a concurrency-safe alarm database with optional file
@@ -76,7 +81,11 @@ func Open(path string) (*Store, error) {
 func (s *Store) Push(a anomaly.Alarm, createdAt int64) (Record, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rec := Record{ID: s.nextID, CreatedAt: createdAt, Alarm: a}
+	src := a.Source
+	if src == "" {
+		src = "drift"
+	}
+	rec := Record{ID: s.nextID, CreatedAt: createdAt, Source: src, Alarm: a}
 	s.nextID++
 	if s.path != "" {
 		f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -102,6 +111,7 @@ type Query struct {
 	ChainID  string
 	Testbed  string
 	Detector string
+	Source   string // "drift" or "slo"; matches Record.Source
 	From, To int64
 }
 
@@ -120,6 +130,9 @@ func (s *Store) Find(q Query) []Record {
 		if q.Detector != "" && rec.Alarm.Detector != q.Detector {
 			continue
 		}
+		if q.Source != "" && rec.sourceOrDefault() != q.Source {
+			continue
+		}
 		if rec.CreatedAt < q.From {
 			continue
 		}
@@ -130,6 +143,15 @@ func (s *Store) Find(q Query) []Record {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// sourceOrDefault returns the record's source, treating rows persisted
+// before the field existed as drift alarms.
+func (r Record) sourceOrDefault() string {
+	if r.Source == "" {
+		return "drift"
+	}
+	return r.Source
 }
 
 // Acknowledge marks an alarm as handled by an engineer.
@@ -178,7 +200,7 @@ func (s *Store) Len() int {
 // Handler exposes the store over HTTP:
 //
 //	POST /alarms              (JSON anomaly.Alarm body) → stored record
-//	GET  /alarms?chain=&testbed=&detector=&from=&to=    → matching records
+//	GET  /alarms?chain=&testbed=&detector=&source=&from=&to= → matching records
 //
 // Errors come back as {"error": "..."} JSON bodies.
 type Handler struct {
@@ -225,6 +247,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			ChainID:  r.URL.Query().Get("chain"),
 			Testbed:  r.URL.Query().Get("testbed"),
 			Detector: r.URL.Query().Get("detector"),
+			Source:   r.URL.Query().Get("source"),
 		}
 		var err error
 		if q.From, err = timeParam(r, "from"); err != nil {

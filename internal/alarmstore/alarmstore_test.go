@@ -281,3 +281,58 @@ func TestConcurrentAppendAndQuery(t *testing.T) {
 		t.Fatalf("reloaded %d records, want %d", re.Len(), writers*perWriter)
 	}
 }
+
+// TestSourceFilter: SLO alerts and model-drift alarms share one store but
+// stay separable through the source field — in Find and over HTTP.
+func TestSourceFilter(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := demoAlarm("c1", 5) // no Source set: the original drift producer
+	slo := demoAlarm("slo-rule", 0)
+	slo.Source = "slo"
+	slo.Detector = "slo:AvailabilityFastBurn"
+	if _, err := s.Push(drift, 1000); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Push(slo, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Source != "slo" {
+		t.Fatalf("slo record source = %q", rec.Source)
+	}
+	if got := s.Find(Query{Source: "drift"}); len(got) != 1 || got[0].Source != "drift" {
+		t.Fatalf("drift filter wrong: %+v", got)
+	}
+	if got := s.Find(Query{Source: "slo"}); len(got) != 1 || got[0].Alarm.Detector != "slo:AvailabilityFastBurn" {
+		t.Fatalf("slo filter wrong: %+v", got)
+	}
+	if got := s.Find(Query{}); len(got) != 2 {
+		t.Fatalf("unfiltered should see both: %+v", got)
+	}
+
+	// Rows persisted before the field existed load with an empty Source and
+	// still answer ?source=drift.
+	legacy := Record{ID: 99, CreatedAt: 50, Alarm: demoAlarm("old", 1)}
+	s.records = append(s.records, legacy)
+	if got := s.Find(Query{Source: "drift"}); len(got) != 2 {
+		t.Fatalf("legacy record not treated as drift: %+v", got)
+	}
+
+	srv := httptest.NewServer(&Handler{Store: s, Now: func() int64 { return 7 }})
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/alarms?source=slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var recs []Record
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Source != "slo" {
+		t.Fatalf("?source=slo returned %+v", recs)
+	}
+}

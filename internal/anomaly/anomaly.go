@@ -76,6 +76,10 @@ func SelfFlag(pred, actual []float64, cfg Config) []bool {
 // engineer needs to locate the issue (step 4 of the workflow): the full
 // environment tuple plus the flagged time interval.
 type Alarm struct {
+	// Source classifies who raised the alarm: "drift" for the model-quality
+	// monitor's per-environment error drift, "slo" for the monitoring
+	// plane's burn-rate rules. Empty means "drift" (the original producer).
+	Source    string `json:",omitempty"`
 	Detector  string
 	ChainID   string
 	Testbed   string

@@ -350,6 +350,7 @@ func (m *Monitor) Observe(env envmeta.Environment, requestID string, pred, actua
 // mean-shift without individual exceeders), peak is the worst |error|.
 func (st *envState) buildAlarmLocked(reason string) anomaly.Alarm {
 	a := anomaly.Alarm{
+		Source:   "drift",
 		Detector: "quality:" + reason,
 		ChainID:  st.env.String(),
 		Testbed:  st.env.Testbed, SUT: st.env.SUT,

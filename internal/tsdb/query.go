@@ -1,0 +1,985 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file is the query engine that turns the passive sample sink into a
+// monitoring plane: a small PromQL-flavoured evaluator over stored series.
+// Supported surface (see docs/observability.md "Monitoring plane"):
+//
+//	metric{label="v"}                     instant selector (staleness Lookback)
+//	rate(sel[5m]) / increase(sel[5m])     counter semantics with reset detection
+//	sum/avg/min/max/count by (l1,l2) (e)  label aggregation
+//	histogram_quantile(0.99, e)           from cumulative _bucket series
+//	e1 + - * / e2                         one-to-one on label identity
+//	e1 > < >= <= == != e2                 filters (vector cmp scalar/vector)
+//	e1 and e2                             intersection on label identity
+//
+// Deliberate deviations from Prometheus, chosen for a hand-checkable spec:
+// rate() divides the reset-adjusted delta by the observed sample span (no
+// range extrapolation), and increase() returns the reset-adjusted delta
+// itself. Both need at least two samples in the window.
+
+// Point is one element of an instant vector: a label identity and a value.
+type Point struct {
+	Labels Labels
+	V      float64
+}
+
+// Vector is the result of evaluating an expression at one instant.
+type Vector []Point
+
+// Engine evaluates expressions against a DB.
+type Engine struct {
+	DB *DB
+	// Lookback is the staleness window for instant selectors: the newest
+	// sample within (t-Lookback, t] represents the series at t. Default 5m.
+	Lookback time.Duration
+}
+
+// NewEngine returns an engine with the default staleness window.
+func NewEngine(db *DB) *Engine { return &Engine{DB: db, Lookback: 5 * time.Minute} }
+
+func (e *Engine) lookbackSec() int64 {
+	if e.Lookback <= 0 {
+		return 300
+	}
+	return int64(e.Lookback / time.Second)
+}
+
+// Instant parses and evaluates expr at time ts (unix seconds). A scalar
+// result becomes a single point with empty labels.
+func (e *Engine) Instant(expr string, ts int64) (Vector, error) {
+	n, err := ParseExpr(expr)
+	if err != nil {
+		return nil, err
+	}
+	return e.evalInstant(n, ts)
+}
+
+// Range evaluates expr at each step in [from, to] (inclusive) and assembles
+// the per-instant vectors into series keyed by label identity. NaN points
+// are skipped.
+func (e *Engine) Range(expr string, from, to, step int64) ([]Series, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("tsdb: query step must be positive, got %d", step)
+	}
+	if to < from {
+		return nil, fmt.Errorf("tsdb: query range end %d before start %d", to, from)
+	}
+	if (to-from)/step > 10000 {
+		return nil, fmt.Errorf("tsdb: query resolves to more than 10000 steps; raise step or narrow the range")
+	}
+	n, err := ParseExpr(expr)
+	if err != nil {
+		return nil, err
+	}
+	byFP := make(map[string]*Series)
+	var order []string
+	for ts := from; ts <= to; ts += step {
+		vec, err := e.evalInstant(n, ts)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range vec {
+			if math.IsNaN(p.V) {
+				continue
+			}
+			fp := p.Labels.Fingerprint()
+			s, ok := byFP[fp]
+			if !ok {
+				s = &Series{Labels: p.Labels.Clone()}
+				byFP[fp] = s
+				order = append(order, fp)
+			}
+			s.Samples = append(s.Samples, Sample{T: ts, V: p.V})
+		}
+	}
+	sort.Strings(order)
+	out := make([]Series, 0, len(order))
+	for _, fp := range order {
+		out = append(out, *byFP[fp])
+	}
+	return out, nil
+}
+
+// ── AST ─────────────────────────────────────────────────────────────────
+
+type exprNode interface{ exprString() string }
+
+type numberNode float64
+
+type selectorNode struct {
+	name     string
+	matchers Labels
+	rangeSec int64 // >0 only inside rate()/increase()
+}
+
+type callNode struct {
+	fn  string // rate | increase | histogram_quantile
+	q   float64
+	arg exprNode
+}
+
+type aggNode struct {
+	op  string // sum | avg | min | max | count
+	by  []string
+	arg exprNode
+}
+
+type binNode struct {
+	op       string
+	lhs, rhs exprNode
+}
+
+func (n numberNode) exprString() string { return strconv.FormatFloat(float64(n), 'g', -1, 64) }
+func (n *selectorNode) exprString() string {
+	s := n.name
+	if len(n.matchers) > 0 {
+		s += "{" + n.matchers.Fingerprint() + "}"
+	}
+	if n.rangeSec > 0 {
+		s += "[" + strconv.FormatInt(n.rangeSec, 10) + "s]"
+	}
+	return s
+}
+func (n *callNode) exprString() string { return n.fn + "(...)" }
+func (n *aggNode) exprString() string  { return n.op + "(...)" }
+func (n *binNode) exprString() string {
+	return "(" + n.lhs.exprString() + n.op + n.rhs.exprString() + ")"
+}
+
+// ── Lexer ───────────────────────────────────────────────────────────────
+
+type token struct {
+	kind string // ident, number, string, op, punct, eof
+	text string
+	pos  int
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func lex(in string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(in) {
+		c := in[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(in) && isIdentPart(in[j]) {
+				j++
+			}
+			toks = append(toks, token{"ident", in[i:j], i})
+			i = j
+		case c >= '0' && c <= '9' || c == '.':
+			j := i + 1
+			for j < len(in) && (in[j] >= '0' && in[j] <= '9' || in[j] == '.' || in[j] == 'e' || in[j] == 'E' ||
+				((in[j] == '+' || in[j] == '-') && (in[j-1] == 'e' || in[j-1] == 'E'))) {
+				j++
+			}
+			// A duration like 5m inside brackets: digits followed by a unit
+			// letter. Lex the unit into the number token and sort it out in
+			// the parser (only valid in a range selector).
+			for j < len(in) && (in[j] == 's' || in[j] == 'm' || in[j] == 'h' || in[j] == 'd' ||
+				(in[j] >= '0' && in[j] <= '9')) {
+				j++
+			}
+			toks = append(toks, token{"number", in[i:j], i})
+			i = j
+		case c == '"':
+			j := i + 1
+			for j < len(in) && in[j] != '"' {
+				if in[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(in) {
+				return nil, fmt.Errorf("tsdb: unterminated string at %d", i)
+			}
+			toks = append(toks, token{"string", in[i+1 : j], i})
+			i = j + 1
+		case strings.ContainsRune("{}()[],", rune(c)):
+			toks = append(toks, token{"punct", string(c), i})
+			i++
+		case strings.ContainsRune("+-*/=<>!", rune(c)):
+			j := i + 1
+			if j < len(in) && in[j] == '=' && (c == '<' || c == '>' || c == '=' || c == '!') {
+				j++
+			}
+			toks = append(toks, token{"op", in[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("tsdb: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: "eof", pos: len(in)})
+	return toks, nil
+}
+
+// ── Parser ──────────────────────────────────────────────────────────────
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// ParseExpr parses a query expression into an evaluable AST, validating
+// function arities and range-selector placement.
+func ParseExpr(in string) (exprNode, error) {
+	if strings.TrimSpace(in) == "" {
+		return nil, fmt.Errorf("tsdb: empty query expression")
+	}
+	toks, err := lex(in)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != "eof" {
+		return nil, fmt.Errorf("tsdb: unexpected %q at %d", t.text, t.pos)
+	}
+	if err := validate(n, false); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// validate rejects range selectors anywhere but directly under rate() or
+// increase().
+func validate(n exprNode, underRange bool) error {
+	switch v := n.(type) {
+	case *selectorNode:
+		if v.rangeSec > 0 && !underRange {
+			return fmt.Errorf("tsdb: range selector %s only valid inside rate() or increase()", v.exprString())
+		}
+		if v.rangeSec == 0 && underRange {
+			return fmt.Errorf("tsdb: rate()/increase() need a range selector like %s[5m]", v.name)
+		}
+	case *callNode:
+		if v.fn == "rate" || v.fn == "increase" {
+			sel, ok := v.arg.(*selectorNode)
+			if !ok {
+				return fmt.Errorf("tsdb: %s() takes a range selector argument", v.fn)
+			}
+			return validate(sel, true)
+		}
+		return validate(v.arg, false)
+	case *aggNode:
+		return validate(v.arg, false)
+	case *binNode:
+		if err := validate(v.lhs, false); err != nil {
+			return err
+		}
+		return validate(v.rhs, false)
+	}
+	return nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) expect(kind, text string) (token, error) {
+	t := p.next()
+	if t.kind != kind || (text != "" && t.text != text) {
+		return t, fmt.Errorf("tsdb: expected %q at %d, got %q", text, t.pos, t.text)
+	}
+	return t, nil
+}
+
+// Precedence (loosest to tightest): and, comparisons, + -, * /.
+func (p *parser) parseExpr() (exprNode, error) { return p.parseAnd() }
+
+func (p *parser) parseAnd() (exprNode, error) {
+	lhs, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == "ident" && p.peek().text == "and" {
+		p.next()
+		rhs, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binNode{op: "and", lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseCmp() (exprNode, error) {
+	lhs, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == "op" && isCmpOp(t.text) {
+		p.next()
+		rhs, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &binNode{op: t.text, lhs: lhs, rhs: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func isCmpOp(op string) bool {
+	switch op {
+	case ">", "<", ">=", "<=", "==", "!=":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseAdd() (exprNode, error) {
+	lhs, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != "op" || (t.text != "+" && t.text != "-") {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binNode{op: t.text, lhs: lhs, rhs: rhs}
+	}
+}
+
+func (p *parser) parseMul() (exprNode, error) {
+	lhs, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != "op" || (t.text != "*" && t.text != "/") {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binNode{op: t.text, lhs: lhs, rhs: rhs}
+	}
+}
+
+func (p *parser) parsePrimary() (exprNode, error) {
+	t := p.peek()
+	switch {
+	case t.kind == "number":
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: bad number %q at %d", t.text, t.pos)
+		}
+		return numberNode(v), nil
+	case t.kind == "op" && t.text == "-":
+		p.next()
+		inner, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		num, ok := inner.(numberNode)
+		if !ok {
+			return nil, fmt.Errorf("tsdb: unary minus only applies to numbers (at %d)", t.pos)
+		}
+		return numberNode(-float64(num)), nil
+	case t.kind == "punct" && t.text == "(":
+		p.next()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("punct", ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case t.kind == "ident":
+		return p.parseIdent()
+	}
+	return nil, fmt.Errorf("tsdb: unexpected %q at %d", t.text, t.pos)
+}
+
+func (p *parser) parseIdent() (exprNode, error) {
+	t := p.next()
+	switch t.text {
+	case "sum", "avg", "min", "max", "count":
+		return p.parseAgg(t.text)
+	case "rate", "increase":
+		if _, err := p.expect("punct", "("); err != nil {
+			return nil, err
+		}
+		sel, err := p.parseSelector()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("punct", ")"); err != nil {
+			return nil, err
+		}
+		return &callNode{fn: t.text, arg: sel}, nil
+	case "histogram_quantile":
+		if _, err := p.expect("punct", "("); err != nil {
+			return nil, err
+		}
+		qTok, err := p.expect("number", "")
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: histogram_quantile wants a numeric quantile first: %w", err)
+		}
+		q, err := strconv.ParseFloat(qTok.text, 64)
+		if err != nil || q < 0 || q > 1 {
+			return nil, fmt.Errorf("tsdb: histogram_quantile quantile %q out of [0,1]", qTok.text)
+		}
+		if _, err := p.expect("punct", ","); err != nil {
+			return nil, err
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("punct", ")"); err != nil {
+			return nil, err
+		}
+		return &callNode{fn: "histogram_quantile", q: q, arg: arg}, nil
+	default:
+		p.pos-- // selector consumes its own name token
+		return p.parseSelector()
+	}
+}
+
+func (p *parser) parseAgg(op string) (exprNode, error) {
+	n := &aggNode{op: op}
+	if t := p.peek(); t.kind == "ident" && t.text == "by" {
+		p.next()
+		if _, err := p.expect("punct", "("); err != nil {
+			return nil, err
+		}
+		for {
+			lt, err := p.expect("ident", "")
+			if err != nil {
+				return nil, err
+			}
+			n.by = append(n.by, lt.text)
+			if p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect("punct", ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect("punct", "("); err != nil {
+		return nil, err
+	}
+	arg, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("punct", ")"); err != nil {
+		return nil, err
+	}
+	n.arg = arg
+	return n, nil
+}
+
+func (p *parser) parseSelector() (exprNode, error) {
+	t, err := p.expect("ident", "")
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: expected a metric name at %d", t.pos)
+	}
+	sel := &selectorNode{name: t.text, matchers: Labels{}}
+	if p.peek().text == "{" {
+		p.next()
+		for p.peek().text != "}" {
+			k, err := p.expect("ident", "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("op", "="); err != nil {
+				return nil, fmt.Errorf("tsdb: label matchers are equality-only: %w", err)
+			}
+			v, err := p.expect("string", "")
+			if err != nil {
+				return nil, err
+			}
+			sel.matchers[k.text] = v.text
+			if p.peek().text == "," {
+				p.next()
+			}
+		}
+		p.next() // consume }
+	}
+	if p.peek().text == "[" {
+		p.next()
+		d, err := p.expect("number", "")
+		if err != nil {
+			return nil, err
+		}
+		dur, err := parseDuration(d.text)
+		if err != nil {
+			return nil, err
+		}
+		sel.rangeSec = dur
+		if _, err := p.expect("punct", "]"); err != nil {
+			return nil, err
+		}
+	}
+	return sel, nil
+}
+
+// parseDuration understands 30s / 5m / 1h / 2d and bare seconds.
+func parseDuration(s string) (int64, error) {
+	mult := int64(1)
+	num := s
+	switch {
+	case strings.HasSuffix(s, "s"):
+		num = s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		num, mult = s[:len(s)-1], 60
+	case strings.HasSuffix(s, "h"):
+		num, mult = s[:len(s)-1], 3600
+	case strings.HasSuffix(s, "d"):
+		num, mult = s[:len(s)-1], 86400
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("tsdb: bad duration %q", s)
+	}
+	return n * mult, nil
+}
+
+// ── Evaluator ───────────────────────────────────────────────────────────
+
+// value is either a scalar (float64) or a Vector.
+type value struct {
+	scalar float64
+	vec    Vector
+	isVec  bool
+}
+
+func scalarVal(v float64) value { return value{scalar: v} }
+func vecVal(v Vector) value     { return value{vec: v, isVec: true} }
+
+func (e *Engine) evalInstant(n exprNode, ts int64) (Vector, error) {
+	v, err := e.eval(n, ts)
+	if err != nil {
+		return nil, err
+	}
+	if !v.isVec {
+		return Vector{{Labels: Labels{}, V: v.scalar}}, nil
+	}
+	return v.vec, nil
+}
+
+func (e *Engine) eval(n exprNode, ts int64) (value, error) {
+	switch node := n.(type) {
+	case numberNode:
+		return scalarVal(float64(node)), nil
+	case *selectorNode:
+		return vecVal(e.evalSelector(node, ts)), nil
+	case *callNode:
+		return e.evalCall(node, ts)
+	case *aggNode:
+		return e.evalAgg(node, ts)
+	case *binNode:
+		return e.evalBin(node, ts)
+	}
+	return value{}, fmt.Errorf("tsdb: unknown expression node %T", n)
+}
+
+// evalSelector resolves an instant selector: the newest sample of each
+// matching series within the staleness window.
+func (e *Engine) evalSelector(sel *selectorNode, ts int64) Vector {
+	matcher := sel.matchers.Clone()
+	matcher["__name__"] = sel.name
+	series := e.DB.Query(matcher, ts-e.lookbackSec(), ts)
+	var out Vector
+	for _, s := range series {
+		if len(s.Samples) == 0 {
+			continue
+		}
+		out = append(out, Point{Labels: s.Labels, V: s.Samples[len(s.Samples)-1].V})
+	}
+	return out
+}
+
+func (e *Engine) evalCall(c *callNode, ts int64) (value, error) {
+	switch c.fn {
+	case "rate", "increase":
+		sel := c.arg.(*selectorNode) // guaranteed by validate
+		matcher := sel.matchers.Clone()
+		matcher["__name__"] = sel.name
+		series := e.DB.Query(matcher, ts-sel.rangeSec, ts)
+		var out Vector
+		for _, s := range series {
+			if len(s.Samples) < 2 {
+				continue
+			}
+			delta := counterDelta(s.Samples)
+			dt := s.Samples[len(s.Samples)-1].T - s.Samples[0].T
+			if dt <= 0 {
+				continue
+			}
+			v := delta
+			if c.fn == "rate" {
+				v = delta / float64(dt)
+			}
+			out = append(out, Point{Labels: dropName(s.Labels), V: v})
+		}
+		return vecVal(out), nil
+	case "histogram_quantile":
+		arg, err := e.eval(c.arg, ts)
+		if err != nil {
+			return value{}, err
+		}
+		if !arg.isVec {
+			return value{}, fmt.Errorf("tsdb: histogram_quantile needs a vector of _bucket series")
+		}
+		return vecVal(histogramQuantile(c.q, arg.vec)), nil
+	}
+	return value{}, fmt.Errorf("tsdb: unknown function %q", c.fn)
+}
+
+// counterDelta sums the increases of a counter over the window, detecting
+// resets: whenever a sample is below its predecessor the counter restarted,
+// so the predecessor's value is added to the running offset (the standard
+// Prometheus adjustment).
+func counterDelta(samples []Sample) float64 {
+	first := samples[0].V
+	prev := first
+	offset := 0.0
+	for _, s := range samples[1:] {
+		if s.V < prev {
+			offset += prev
+		}
+		prev = s.V
+	}
+	return prev - first + offset
+}
+
+func dropName(l Labels) Labels {
+	out := make(Labels, len(l))
+	for k, v := range l {
+		if k != "__name__" {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// histogramQuantile reconstructs the q-quantile per bucket group. Input
+// points carry an le label with the bucket's upper bound and cumulative
+// counts (or cumulative rates — any monotone-in-le quantity works). The
+// result interpolates linearly within the located bucket; a quantile landing
+// in the +Inf bucket returns the highest finite bound.
+func histogramQuantile(q float64, vec Vector) Vector {
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	groups := make(map[string][]bucket)
+	groupLabels := make(map[string]Labels)
+	for _, p := range vec {
+		leStr, ok := p.Labels["le"]
+		if !ok {
+			continue
+		}
+		le, err := parseLE(leStr)
+		if err != nil {
+			continue
+		}
+		rest := make(Labels, len(p.Labels))
+		for k, v := range p.Labels {
+			if k != "le" && k != "__name__" {
+				rest[k] = v
+			}
+		}
+		fp := rest.Fingerprint()
+		groups[fp] = append(groups[fp], bucket{le: le, cum: p.V})
+		groupLabels[fp] = rest
+	}
+	fps := make([]string, 0, len(groups))
+	for fp := range groups {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	var out Vector
+	for _, fp := range fps {
+		bs := groups[fp]
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		// Enforce monotonicity: scraped cumulative counts can jitter when
+		// buckets of one histogram land in different scrape cycles.
+		for i := 1; i < len(bs); i++ {
+			if bs[i].cum < bs[i-1].cum {
+				bs[i].cum = bs[i-1].cum
+			}
+		}
+		total := bs[len(bs)-1].cum
+		if total <= 0 || len(bs) < 2 {
+			continue
+		}
+		rank := q * total
+		idx := sort.Search(len(bs), func(i int) bool { return bs[i].cum >= rank })
+		if idx >= len(bs) {
+			idx = len(bs) - 1
+		}
+		var v float64
+		if math.IsInf(bs[idx].le, 1) {
+			v = bs[idx-1].le // quantile beyond the last finite bound
+		} else {
+			lower, prevCum := 0.0, 0.0
+			if idx > 0 {
+				lower, prevCum = bs[idx-1].le, bs[idx-1].cum
+			}
+			width := bs[idx].le - lower
+			inBucket := bs[idx].cum - prevCum
+			if inBucket <= 0 {
+				v = bs[idx].le
+			} else {
+				v = lower + width*(rank-prevCum)/inBucket
+			}
+		}
+		out = append(out, Point{Labels: groupLabels[fp], V: v})
+	}
+	return out
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" || s == "Inf" || s == "inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func (e *Engine) evalAgg(a *aggNode, ts int64) (value, error) {
+	arg, err := e.eval(a.arg, ts)
+	if err != nil {
+		return value{}, err
+	}
+	if !arg.isVec {
+		return value{}, fmt.Errorf("tsdb: %s() aggregates a vector, got a scalar", a.op)
+	}
+	type group struct {
+		labels        Labels
+		sum, min, max float64
+		n             int
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, p := range arg.vec {
+		kept := Labels{}
+		for _, k := range a.by {
+			if v, ok := p.Labels[k]; ok {
+				kept[k] = v
+			}
+		}
+		fp := kept.Fingerprint()
+		g, ok := groups[fp]
+		if !ok {
+			g = &group{labels: kept, min: math.Inf(1), max: math.Inf(-1)}
+			groups[fp] = g
+			order = append(order, fp)
+		}
+		g.sum += p.V
+		if p.V < g.min {
+			g.min = p.V
+		}
+		if p.V > g.max {
+			g.max = p.V
+		}
+		g.n++
+	}
+	sort.Strings(order)
+	out := make(Vector, 0, len(order))
+	for _, fp := range order {
+		g := groups[fp]
+		var v float64
+		switch a.op {
+		case "sum":
+			v = g.sum
+		case "avg":
+			v = g.sum / float64(g.n)
+		case "min":
+			v = g.min
+		case "max":
+			v = g.max
+		case "count":
+			v = float64(g.n)
+		}
+		out = append(out, Point{Labels: g.labels, V: v})
+	}
+	return vecVal(out), nil
+}
+
+func (e *Engine) evalBin(b *binNode, ts int64) (value, error) {
+	lhs, err := e.eval(b.lhs, ts)
+	if err != nil {
+		return value{}, err
+	}
+	rhs, err := e.eval(b.rhs, ts)
+	if err != nil {
+		return value{}, err
+	}
+	if b.op == "and" {
+		if !lhs.isVec || !rhs.isVec {
+			return value{}, fmt.Errorf("tsdb: 'and' needs vectors on both sides")
+		}
+		seen := make(map[string]bool, len(rhs.vec))
+		for _, p := range rhs.vec {
+			seen[dropName(p.Labels).Fingerprint()] = true
+		}
+		var out Vector
+		for _, p := range lhs.vec {
+			if seen[dropName(p.Labels).Fingerprint()] {
+				out = append(out, p)
+			}
+		}
+		return vecVal(out), nil
+	}
+	if isCmpOp(b.op) {
+		return evalCmp(b.op, lhs, rhs)
+	}
+	return evalArith(b.op, lhs, rhs)
+}
+
+func applyArith(op string, l, r float64) (float64, bool) {
+	switch op {
+	case "+":
+		return l + r, true
+	case "-":
+		return l - r, true
+	case "*":
+		return l * r, true
+	case "/":
+		if r == 0 {
+			return 0, false // drop the element instead of emitting ±Inf/NaN
+		}
+		return l / r, true
+	}
+	return 0, false
+}
+
+func evalArith(op string, lhs, rhs value) (value, error) {
+	switch {
+	case !lhs.isVec && !rhs.isVec:
+		v, ok := applyArith(op, lhs.scalar, rhs.scalar)
+		if !ok && op == "/" {
+			return scalarVal(math.NaN()), nil
+		}
+		return scalarVal(v), nil
+	case lhs.isVec && !rhs.isVec:
+		var out Vector
+		for _, p := range lhs.vec {
+			if v, ok := applyArith(op, p.V, rhs.scalar); ok {
+				out = append(out, Point{Labels: dropName(p.Labels), V: v})
+			}
+		}
+		return vecVal(out), nil
+	case !lhs.isVec && rhs.isVec:
+		var out Vector
+		for _, p := range rhs.vec {
+			if v, ok := applyArith(op, lhs.scalar, p.V); ok {
+				out = append(out, Point{Labels: dropName(p.Labels), V: v})
+			}
+		}
+		return vecVal(out), nil
+	}
+	// vector ∘ vector: one-to-one on label identity ignoring __name__.
+	rIdx := make(map[string]float64, len(rhs.vec))
+	for _, p := range rhs.vec {
+		rIdx[dropName(p.Labels).Fingerprint()] = p.V
+	}
+	var out Vector
+	for _, p := range lhs.vec {
+		stripped := dropName(p.Labels)
+		rv, ok := rIdx[stripped.Fingerprint()]
+		if !ok {
+			continue
+		}
+		if v, ok := applyArith(op, p.V, rv); ok {
+			out = append(out, Point{Labels: stripped, V: v})
+		}
+	}
+	return vecVal(out), nil
+}
+
+func cmpTrue(op string, l, r float64) bool {
+	switch op {
+	case ">":
+		return l > r
+	case "<":
+		return l < r
+	case ">=":
+		return l >= r
+	case "<=":
+		return l <= r
+	case "==":
+		return l == r
+	case "!=":
+		return l != r
+	}
+	return false
+}
+
+// evalCmp filters: vector elements that satisfy the comparison survive with
+// their value; non-satisfying elements are dropped (Prometheus semantics).
+func evalCmp(op string, lhs, rhs value) (value, error) {
+	switch {
+	case !lhs.isVec && !rhs.isVec:
+		if cmpTrue(op, lhs.scalar, rhs.scalar) {
+			return scalarVal(1), nil
+		}
+		return scalarVal(0), nil
+	case lhs.isVec && !rhs.isVec:
+		var out Vector
+		for _, p := range lhs.vec {
+			if cmpTrue(op, p.V, rhs.scalar) {
+				out = append(out, p)
+			}
+		}
+		return vecVal(out), nil
+	case !lhs.isVec && rhs.isVec:
+		var out Vector
+		for _, p := range rhs.vec {
+			if cmpTrue(op, lhs.scalar, p.V) {
+				out = append(out, p)
+			}
+		}
+		return vecVal(out), nil
+	}
+	rIdx := make(map[string]float64, len(rhs.vec))
+	for _, p := range rhs.vec {
+		rIdx[dropName(p.Labels).Fingerprint()] = p.V
+	}
+	var out Vector
+	for _, p := range lhs.vec {
+		rv, ok := rIdx[dropName(p.Labels).Fingerprint()]
+		if ok && cmpTrue(op, p.V, rv) {
+			out = append(out, p)
+		}
+	}
+	return vecVal(out), nil
+}

@@ -92,10 +92,35 @@ type Scraper struct {
 	// swallowed (down targets, unreadable discovery files); attach a
 	// component field so a shared stderr stream stays attributable.
 	Logger *slog.Logger
+	// Concurrency bounds how many targets are scraped in parallel per
+	// cycle (default 8). One slow or down backend no longer delays the
+	// rest of the fleet's samples by a full client timeout.
+	Concurrency int
+	// TargetTimeout caps each individual target scrape. Defaults to the
+	// scrape interval (so one cycle can't overlap the next) or 5s,
+	// whichever is smaller.
+	TargetTimeout time.Duration
 
 	mu      sync.Mutex
 	scrapes int
 	errs    int
+}
+
+func (s *Scraper) concurrency() int {
+	if s.Concurrency > 0 {
+		return s.Concurrency
+	}
+	return 8
+}
+
+func (s *Scraper) targetTimeout() time.Duration {
+	if s.TargetTimeout > 0 {
+		return s.TargetTimeout
+	}
+	if s.Interval > 0 && s.Interval < 5*time.Second {
+		return s.Interval
+	}
+	return 5 * time.Second
 }
 
 func (s *Scraper) logger() *slog.Logger {
@@ -114,32 +139,58 @@ func NewScraper(db *DB, sdPath string, interval time.Duration) *Scraper {
 	}
 }
 
-// ScrapeOnce performs one discovery+scrape cycle and returns the number of
-// samples ingested.
+// ScrapeOnce performs one discovery+scrape cycle and returns the number
+// of samples ingested. Targets are scraped concurrently through a
+// bounded worker pool (see Concurrency), each under its own timeout, so
+// a hung backend costs one pool slot for TargetTimeout instead of
+// stalling the whole cycle. After the cycle the DB's retention policy
+// runs, keeping the storage window bounded.
 func (s *Scraper) ScrapeOnce(ctx context.Context) (int, error) {
 	entries, err := ReadSDConfig(s.SDPath)
 	if err != nil {
 		return 0, err
 	}
-	total := 0
+	type job struct {
+		target string
+		labels map[string]string
+	}
+	var jobs []job
 	for _, e := range entries {
 		for _, target := range e.Targets {
-			n, err := s.scrapeTarget(ctx, target, e.Labels)
+			jobs = append(jobs, job{target, e.Labels})
+		}
+	}
+	var (
+		wg    sync.WaitGroup
+		sem   = make(chan struct{}, s.concurrency())
+		total int
+	)
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			tctx, cancel := context.WithTimeout(ctx, s.targetTimeout())
+			defer cancel()
+			n, err := s.scrapeTarget(tctx, j.target, j.labels)
 			s.mu.Lock()
 			s.scrapes++
 			if err != nil {
 				s.errs++
+			} else {
+				total += n
 			}
 			s.mu.Unlock()
 			if err != nil {
 				// A down target must not block the others, but it must not
 				// vanish silently either.
-				s.logger().Warn("target scrape failed", "target", target, "err", err)
-				continue
+				s.logger().Warn("target scrape failed", "target", j.target, "err", err)
 			}
-			total += n
-		}
+		}(j)
 	}
+	wg.Wait()
+	s.DB.GC(s.Now())
 	return total, nil
 }
 

@@ -66,15 +66,75 @@ type Series struct {
 	Samples []Sample
 }
 
-// DB is a concurrency-safe in-memory TSDB.
+// DB is a concurrency-safe in-memory TSDB. Retention is bounded two
+// ways: a time window enforced by GC (SetRetention) and a hard
+// per-series sample cap enforced at append time
+// (SetMaxSamplesPerSeries), so an unattended daemon cannot grow without
+// limit.
 type DB struct {
-	mu     sync.RWMutex
-	series map[string]*Series
+	mu           sync.RWMutex
+	series       map[string]*Series
+	retentionSec int64 // 0 = keep everything
+	maxSamples   int   // 0 = unlimited
+	evicted      uint64
 }
 
-// New returns an empty database.
+// New returns an empty database with unlimited retention.
 func New() *DB {
 	return &DB{series: make(map[string]*Series)}
+}
+
+// SetRetention sets the time window GC keeps, in seconds; 0 disables
+// time-based eviction.
+func (db *DB) SetRetention(sec int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.retentionSec = sec
+}
+
+// SetMaxSamplesPerSeries caps each series' sample count; appends beyond
+// the cap evict the oldest samples. 0 disables the cap.
+func (db *DB) SetMaxSamplesPerSeries(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.maxSamples = n
+}
+
+// EvictedSamples returns the total number of samples dropped by the
+// retention window and the per-series cap (exposed by tsdbd as
+// tsdb_evicted_samples_total).
+func (db *DB) EvictedSamples() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.evicted
+}
+
+// GC drops samples older than now minus the retention window, and
+// deletes series left empty. It returns the number of samples evicted
+// in this pass; a no-op without a configured retention.
+func (db *DB) GC(now int64) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.retentionSec <= 0 {
+		return 0
+	}
+	cutoff := now - db.retentionSec
+	dropped := 0
+	for fp, s := range db.series {
+		lo := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T >= cutoff })
+		if lo == 0 {
+			continue
+		}
+		dropped += lo
+		if lo == len(s.Samples) {
+			delete(db.series, fp)
+			continue
+		}
+		// Reallocate rather than re-slice so the evicted prefix is freed.
+		s.Samples = append([]Sample(nil), s.Samples[lo:]...)
+	}
+	db.evicted += uint64(dropped)
+	return dropped
 }
 
 // Append adds a sample to the series identified by labels, creating it on
@@ -93,6 +153,11 @@ func (db *DB) Append(labels Labels, t int64, v float64) error {
 		return fmt.Errorf("tsdb: out-of-order sample t=%d < head=%d for {%s}", t, s.Samples[n-1].T, fp)
 	}
 	s.Samples = append(s.Samples, Sample{T: t, V: v})
+	if db.maxSamples > 0 && len(s.Samples) > db.maxSamples {
+		over := len(s.Samples) - db.maxSamples
+		s.Samples = append([]Sample(nil), s.Samples[over:]...)
+		db.evicted += uint64(over)
+	}
 	return nil
 }
 
