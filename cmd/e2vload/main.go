@@ -11,6 +11,16 @@
 //	        [-actuals 0] [-seed 1] [-envs 1]
 //	e2vload -targets http://h1:9090,http://h2:9090 ...   # spread workers
 //	e2vload -addr http://proxy:9080 -envs 32 ...         # through a proxy
+//
+// Besides JSON it speaks the binary wire protocol (-proto binary sends
+// length-prefixed batch frames of -wire-batch requests; -proto stream
+// opens one subscribe-mode connection per worker and drives lock-step
+// window→prediction round trips). Both need -wire-targets: the wire
+// addresses paired one-to-one with the HTTP targets, which still serve
+// shape discovery (/statz) and the post-run attribution.
+//
+//	e2vload -addr http://h1:9090 -wire-targets h1:9091 -proto binary -wire-batch 8
+//	e2vload -addr http://proxy:9080 -wire-targets proxy:9081 -proto stream
 package main
 
 import (
@@ -28,8 +38,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"env2vec/internal/envmeta"
 	"env2vec/internal/obs"
 	"env2vec/internal/serve"
+	"env2vec/internal/wire"
 )
 
 func main() {
@@ -42,7 +54,8 @@ func main() {
 // target is one service URL under load, with its own client-side counters
 // so a fleet run reports per-backend throughput and tail.
 type target struct {
-	base             string
+	base             string // HTTP base URL (statz, traces, -proto json)
+	wireAddr         string // wire host:port (-proto binary|stream); may be ""
 	latency          *obs.Histogram
 	ok, shed, failed atomic.Uint64
 }
@@ -51,6 +64,9 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("e2vload", flag.ExitOnError)
 	addr := fs.String("addr", "http://localhost:9090", "base URL of the prediction service")
 	targetsFlag := fs.String("targets", "", "comma-separated base URLs (overrides -addr); workers round-robin across them")
+	proto := fs.String("proto", "json", "transport: json | binary (wire batch frames) | stream (wire subscribe mode)")
+	wireTargets := fs.String("wire-targets", "", "comma-separated wire addresses (host:port), parallel to the HTTP targets; required for -proto binary|stream")
+	wireBatch := fs.Int("wire-batch", 1, "requests per batch frame with -proto binary")
 	conc := fs.Int("c", 4, "concurrent request workers")
 	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
 	rps := fs.Float64("rps", 0, "target aggregate requests/second (0 = unthrottled)")
@@ -84,6 +100,27 @@ func run(args []string, w io.Writer) error {
 	if len(tgts) == 0 {
 		return fmt.Errorf("no targets given")
 	}
+	switch *proto {
+	case "json":
+	case "binary", "stream":
+		var addrs []string
+		for _, a := range strings.Split(*wireTargets, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) != len(tgts) {
+			return fmt.Errorf("-proto %s needs -wire-targets with %d address(es), got %d", *proto, len(tgts), len(addrs))
+		}
+		for i, t := range tgts {
+			t.wireAddr = addrs[i]
+		}
+		if *wireBatch <= 0 {
+			*wireBatch = 1
+		}
+	default:
+		return fmt.Errorf("-proto must be json, binary, or stream (got %q)", *proto)
+	}
 	client := &http.Client{Timeout: 10 * time.Second}
 
 	// Shape discovery: /statz tells us the model's feature arity and window,
@@ -102,8 +139,8 @@ func run(args []string, w io.Writer) error {
 	if st.Model == "" || st.ModelIn <= 0 || st.ModelWindow <= 0 {
 		return fmt.Errorf("target serves no model yet (statz: model=%q in=%d window=%d)", st.Model, st.ModelIn, st.ModelWindow)
 	}
-	fmt.Fprintf(w, "targets %d model=%s/v%d in=%d window=%d workers=%d duration=%s\n",
-		len(tgts), st.Model, st.ModelVersion, st.ModelIn, st.ModelWindow, *conc, *duration)
+	fmt.Fprintf(w, "targets %d model=%s/v%d in=%d window=%d proto=%s workers=%d duration=%s\n",
+		len(tgts), st.Model, st.ModelVersion, st.ModelIn, st.ModelWindow, *proto, *conc, *duration)
 
 	var tick <-chan time.Time
 	if *rps > 0 {
@@ -116,6 +153,39 @@ func run(args []string, w io.Writer) error {
 	deadline := time.Now().Add(*duration)
 	begin := time.Now()
 
+	// observe records one latency sample (a request, a batch exchange, or a
+	// stream round trip); count classifies one request's outcome.
+	observe := func(tgt *target, ms float64) {
+		tgt.latency.Observe(ms)
+		totalLatency.Observe(ms)
+	}
+	count := func(tgt *target, code int, err error) {
+		switch {
+		case err != nil:
+			tgt.failed.Add(1)
+			lastErr.Store(err)
+		case code == http.StatusOK:
+			tgt.ok.Add(1)
+		case code == http.StatusTooManyRequests:
+			tgt.shed.Add(1)
+		default:
+			tgt.failed.Add(1)
+			lastErr.Store(fmt.Errorf("status %d", code))
+		}
+	}
+	// pace blocks for the rate limiter; false means the deadline passed.
+	pace := func() bool {
+		if tick == nil {
+			return true
+		}
+		select {
+		case <-tick:
+			return true
+		case <-time.After(time.Until(deadline)):
+			return false
+		}
+	}
+
 	var wg sync.WaitGroup
 	for g := 0; g < *conc; g++ {
 		wg.Add(1)
@@ -123,31 +193,21 @@ func run(args []string, w io.Writer) error {
 			defer wg.Done()
 			tgt := tgts[g%len(tgts)]
 			rng := rand.New(rand.NewSource(*seed + int64(g)))
-			for time.Now().Before(deadline) {
-				if tick != nil {
-					select {
-					case <-tick:
-					case <-time.After(time.Until(deadline)):
+			switch *proto {
+			case "binary":
+				wireWorker(tgt, rng, st, deadline, pace, observe, count, *wireBatch, *actuals, *envs)
+			case "stream":
+				streamWorker(tgt, rng, st, deadline, pace, observe, count, *actuals, *envs, g)
+			default:
+				for time.Now().Before(deadline) {
+					if !pace() {
 						return
 					}
-				}
-				req := genRequest(rng, st.ModelIn, st.ModelWindow, *actuals, *envs)
-				t0 := time.Now()
-				code, err := postPredict(client, tgt.base, req)
-				ms := obs.MS(time.Since(t0))
-				tgt.latency.Observe(ms)
-				totalLatency.Observe(ms)
-				switch {
-				case err != nil:
-					tgt.failed.Add(1)
-					lastErr.Store(err)
-				case code == http.StatusOK:
-					tgt.ok.Add(1)
-				case code == http.StatusTooManyRequests:
-					tgt.shed.Add(1)
-				default:
-					tgt.failed.Add(1)
-					lastErr.Store(fmt.Errorf("status %d", code))
+					req := genRequest(rng, st.ModelIn, st.ModelWindow, *actuals, *envs)
+					t0 := time.Now()
+					code, err := postPredict(client, tgt.base, req)
+					observe(tgt, obs.MS(time.Since(t0)))
+					count(tgt, code, err)
 				}
 			}
 		}(g)
@@ -205,6 +265,98 @@ func run(args []string, w io.Writer) error {
 		return checkAlerts(w, client, *alertsURL)
 	}
 	return nil
+}
+
+// wireWorker drives -proto binary: one wire connection per worker, batch
+// frames of wireBatch requests, redialing after transport errors. One
+// latency sample covers one batch exchange; outcomes count per request.
+func wireWorker(tgt *target, rng *rand.Rand, st serve.Stats, deadline time.Time,
+	pace func() bool, observe func(*target, float64), count func(*target, int, error),
+	wireBatch int, actuals float64, envs int) {
+	var c *wire.Client
+	defer func() {
+		if c != nil {
+			c.Close()
+		}
+	}()
+	for time.Now().Before(deadline) {
+		if !pace() {
+			return
+		}
+		if c == nil {
+			var err error
+			if c, err = wire.Dial(tgt.wireAddr, wire.ClientConfig{Timeout: 10 * time.Second}); err != nil {
+				count(tgt, 0, err)
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+		}
+		reqs := make([]*serve.Request, wireBatch)
+		for i := range reqs {
+			reqs[i] = genRequest(rng, st.ModelIn, st.ModelWindow, actuals, envs)
+		}
+		t0 := time.Now()
+		replies, err := c.Predict(reqs)
+		observe(tgt, obs.MS(time.Since(t0)))
+		if err != nil {
+			count(tgt, 0, err)
+			c.Close()
+			c = nil
+			continue
+		}
+		for _, rep := range replies {
+			count(tgt, rep.Status, nil)
+		}
+	}
+}
+
+// streamWorker drives -proto stream: one subscribe-mode connection pinned
+// to one environment, lock-step window→prediction round trips (each one
+// latency sample), resubscribing after errors.
+func streamWorker(tgt *target, rng *rand.Rand, st serve.Stats, deadline time.Time,
+	pace func() bool, observe func(*target, float64), count func(*target, int, error),
+	actuals float64, envs int, worker int) {
+	env := envmeta.Environment{
+		Testbed: "loadgen", SUT: "loadgen", Testcase: "load",
+		Build: fmt.Sprintf("B%d", 1+worker%envs),
+	}
+	for time.Now().Before(deadline) {
+		c, err := wire.Dial(tgt.wireAddr, wire.ClientConfig{Timeout: 10 * time.Second})
+		if err != nil {
+			count(tgt, 0, err)
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		stm, err := c.Subscribe(env, "")
+		if err != nil {
+			count(tgt, 0, err)
+			c.Close()
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		// A wedged peer cannot park the worker past the run.
+		_ = stm.SetDeadline(deadline.Add(10 * time.Second))
+		for time.Now().Before(deadline) {
+			if !pace() {
+				break
+			}
+			req := genRequest(rng, st.ModelIn, st.ModelWindow, actuals, envs)
+			wnd := wire.Window{Seq: stm.NextSeq(), CF: req.CF, Window: req.Window, Actual: req.Actual}
+			t0 := time.Now()
+			if err := stm.Send(wnd); err != nil {
+				count(tgt, 0, err)
+				break
+			}
+			p, err := stm.Recv()
+			observe(tgt, obs.MS(time.Since(t0)))
+			if err != nil {
+				count(tgt, 0, err)
+				break
+			}
+			count(tgt, p.Status, nil)
+		}
+		stm.Close()
+	}
 }
 
 // checkAlerts fetches the monitoring plane's active alerts and turns a

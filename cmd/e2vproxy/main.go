@@ -10,6 +10,13 @@
 // budget; a saturated pool sheds with 429.
 //
 //	e2vproxy -backends http://h1:9090,http://h2:9090 [-addr :9080]
+//	e2vproxy -backends ... -wire-addr :9081 -wire-backends h1:9091,h2:9091
+//
+// With -wire-addr the proxy additionally fronts the binary wire protocol:
+// batched predicts are routed per environment group over pooled backend
+// connections (same ring, health hysteresis, retry budget, and trace
+// stitching as the JSON path), and subscribe-mode streams are spliced raw
+// to their environment's home backend.
 //
 // Endpoints: POST /predict and POST /observe (routed), GET /quality
 // (fleet union of per-env drift state), GET /metrics (the proxy's own
@@ -26,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -48,6 +56,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("e2vproxy", flag.ExitOnError)
 	addr := fs.String("addr", ":9080", "listen address")
 	backends := fs.String("backends", "", "comma-separated e2vserve base URLs (required)")
+	wireAddr := fs.String("wire-addr", "", "binary wire-protocol listen address (e.g. :9081); empty disables")
+	wireBackends := fs.String("wire-backends", "", "comma-separated backend wire addresses (host:port), parallel to -backends; required with -wire-addr")
+	maxBody := fs.Int64("max-body", 4<<20, "max accepted HTTP request-body bytes (oversize answers 413)")
 	vnodes := fs.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
 	loadFactor := fs.Float64("load-factor", 1.25, "bounded-load factor c (≤1 disables the bound)")
 	retries := fs.Int("retries", 0, "failover budget per request (0 = try every backend)")
@@ -75,6 +86,20 @@ func run(args []string) error {
 	if len(urls) == 0 {
 		return errors.New("-backends parsed to an empty list")
 	}
+	var wireAddrs []string
+	if *wireBackends != "" {
+		for _, a := range strings.Split(*wireBackends, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				wireAddrs = append(wireAddrs, a)
+			}
+		}
+		if len(wireAddrs) != len(urls) {
+			return fmt.Errorf("-wire-backends lists %d addresses for %d backends; they must pair one-to-one", len(wireAddrs), len(urls))
+		}
+	}
+	if *wireAddr != "" && len(wireAddrs) == 0 {
+		return errors.New("-wire-addr requires -wire-backends")
+	}
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
 		return err
@@ -83,6 +108,8 @@ func run(args []string) error {
 
 	p := proxy.New(proxy.Config{
 		Backends:      urls,
+		WireBackends:  wireAddrs,
+		MaxBodyBytes:  *maxBody,
 		VNodes:        *vnodes,
 		LoadFactor:    *loadFactor,
 		Retries:       *retries,
@@ -110,6 +137,18 @@ func run(args []string) error {
 			"endpoints", "POST /predict, POST /observe, GET /quality, GET /metrics, GET /statz, GET /fleet, GET /traces, GET /healthz, GET /readyz")
 		errc <- httpSrv.ListenAndServe()
 	}()
+	if *wireAddr != "" {
+		ln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			return fmt.Errorf("wire listener: %w", err)
+		}
+		go func() {
+			logger.Info("wire protocol listening", "addr", *wireAddr, "wire_backends", len(wireAddrs))
+			if err := p.ServeWire(ln); err != nil {
+				errc <- fmt.Errorf("wire listener: %w", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:

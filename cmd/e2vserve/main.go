@@ -16,6 +16,11 @@
 //	    daemon warm-starts from DIR after a restart (even with the
 //	    primary down) and keeps DIR converged as a replica.
 //
+// With -wire-addr the daemon additionally serves the length-prefixed
+// binary wire protocol (batched predicts and subscribe-mode streaming, see
+// docs/serving.md) on a second listener, dispatching into the same
+// micro-batcher as the JSON path.
+//
 // Endpoints: POST /predict, POST /observe (deferred ground truth), GET
 // /quality (model-quality report), GET /traces and GET /traces/{id}
 // (tail-sampled stage-span traces), GET /healthz, GET /statz, GET
@@ -33,6 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,6 +51,7 @@ import (
 	"env2vec/internal/obs"
 	"env2vec/internal/quality"
 	"env2vec/internal/serve"
+	"env2vec/internal/wire"
 )
 
 func main() {
@@ -67,6 +74,8 @@ func registryClient(baseURL string, longPoll time.Duration) *modelserver.Client 
 func run(args []string) error {
 	fs := flag.NewFlagSet("e2vserve", flag.ExitOnError)
 	addr := fs.String("addr", ":9090", "listen address")
+	wireAddr := fs.String("wire-addr", "", "binary wire-protocol listen address (e.g. :9091); empty disables")
+	maxBody := fs.Int64("max-body", serve.DefaultMaxBodyBytes, "max accepted HTTP request-body bytes (oversize answers 413)")
 	registry := fs.String("registry", "", "model-registry base URL to poll (e.g. http://localhost:8080)")
 	registryDir := fs.String("registry-dir", "", "local durable registry mirror: replayed for a warm start, then kept converged with -registry")
 	name := fs.String("name", "env2vec", "model name in the registry")
@@ -110,6 +119,7 @@ func run(args []string) error {
 		QueueDepth:     *queue,
 		Workers:        *workers,
 		MinCalibration: *minCal,
+		MaxBodyBytes:   *maxBody,
 		Trace:          obs.TraceStoreConfig{Capacity: *traceCap, SampleRate: *traceSample, SlowMS: *traceSlowMS},
 		Obs:            reg,
 		Logger:         obs.NewLogger(os.Stderr, level, "serve"),
@@ -230,13 +240,40 @@ func run(args []string) error {
 		errc <- httpSrv.ListenAndServe()
 	}()
 
+	// The binary protocol listens beside JSON and dispatches into the same
+	// micro-batcher; either listener failing takes the daemon down.
+	var wireSrv *wire.Server
+	if *wireAddr != "" {
+		ln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("wire listener: %w", err)
+		}
+		wireSrv = wire.NewServer(srv, wire.ServerConfig{
+			Obs: reg, Logger: obs.NewLogger(os.Stderr, level, "wire"),
+		})
+		go func() {
+			logger.Info("wire protocol listening", "addr", *wireAddr, "modes", "batch, subscribe")
+			if err := wireSrv.Serve(ln); err != nil {
+				errc <- fmt.Errorf("wire listener: %w", err)
+			}
+		}()
+	}
+	closeWire := func() {
+		if wireSrv != nil {
+			wireSrv.Close()
+		}
+	}
+
 	select {
 	case err := <-errc:
+		closeWire()
 		srv.Close()
 		return err
 	case <-ctx.Done():
 	}
 	// Stop accepting connections, then drain in-flight batches.
+	closeWire()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {

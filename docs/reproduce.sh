@@ -76,5 +76,19 @@ go test -run 'TestSourceFilter' ./internal/alarmstore/
 go test -run '^$' -bench 'BenchmarkServe' -benchmem -count 1 ./internal/serve/ \
     | tee docs/outputs/bench_serve.txt \
     | go run ./cmd/benchjson > docs/outputs/BENCH_serve.json
+# The binary wire protocol (docs/serving.md "Binary wire protocol"): fuzz
+# the frame + payload decoders (truncated / bit-flipped / oversized /
+# interleaved frames are typed errors, never panics), run the protocol
+# battery under -race (codec round trips, client/server batch and
+# subscribe modes, proxy wire front with the mixed JSON+binary+stream
+# kill-a-backend e2e), then commit the JSON-vs-binary codec and transport
+# numbers (encode+decode at B8W20, and live round trips with p99s).
+go test -run FuzzWireDecode -fuzz FuzzWireDecode -fuzztime 10s ./internal/wire/
+go test -race ./internal/wire/
+go test -race -run 'TestE2EWireMixedProtocolFailover|TestProxyBodyLimit|TestProxyErrorBodyCap' ./internal/proxy/
+go test -race -run 'TestBodyLimits|TestStrictDecoding|TestDoBatch' ./internal/serve/
+go test -run '^$' -bench 'EncodeDecode|RoundTrip' -benchmem -count 1 ./internal/wire/ \
+    | tee docs/outputs/bench_wire.txt \
+    | go run ./cmd/benchjson > docs/outputs/BENCH_wire.json
 go run ./cmd/kdnbench -seeds 2 | tee docs/outputs/kdnbench.txt
 go run ./cmd/telecombench -slow -csv docs/outputs/figures | tee docs/outputs/telecombench.txt

@@ -15,8 +15,9 @@ import (
 // health checker (plus passive marks from failed forwards); in-flight
 // counts feed the bounded-load walk.
 type Backend struct {
-	URL  string // base URL, no trailing slash
-	name string // host:port, the value of the backend metric label
+	URL      string // base URL, no trailing slash
+	name     string // host:port, the value of the backend metric label
+	wireAddr string // binary-protocol listener (host:port); "" = HTTP only
 
 	alive    atomic.Bool
 	inflight atomic.Int64
@@ -33,6 +34,10 @@ type Backend struct {
 
 // Name returns the backend's metric label (host:port of its URL).
 func (b *Backend) Name() string { return b.name }
+
+// WireAddr returns the backend's binary-protocol address, or "" when the
+// backend was configured without one.
+func (b *Backend) WireAddr() string { return b.wireAddr }
 
 // Alive reports whether the health checker currently considers the
 // backend routable.

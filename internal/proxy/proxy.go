@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -17,6 +18,7 @@ import (
 
 	"env2vec/internal/envmeta"
 	"env2vec/internal/obs"
+	"env2vec/internal/serve"
 )
 
 // Config sizes the front tier.
@@ -24,6 +26,11 @@ type Config struct {
 	// Backends are the e2vserve base URLs the proxy routes over (required,
 	// at least one).
 	Backends []string
+	// WireBackends are the backends' binary-protocol addresses (host:port),
+	// parallel to Backends — WireBackends[i] is Backends[i]'s wire listener.
+	// Optional; required (and length-checked) only when the proxy itself
+	// serves the wire protocol via ServeWire.
+	WireBackends []string
 	// VNodes is how many virtual nodes each backend owns on the hash ring
 	// (default 64): more vnodes, smoother slices, slower ring build.
 	VNodes int
@@ -53,6 +60,10 @@ type Config struct {
 	// /observe sticky to the backend that served the prediction
 	// (default 16384, FIFO eviction).
 	PendingCap int
+	// MaxBodyBytes caps inbound request bodies on /predict and /observe
+	// (default 4 MiB, matching serve). Oversized bodies answer 413 before
+	// any bytes are forwarded.
+	MaxBodyBytes int64
 	// Trace sizes the tail-sampled trace store behind GET /traces: every
 	// routed request's span tree (root + one span per forward attempt +
 	// the backend's stitched stage spans) is offered to it on completion.
@@ -109,6 +120,10 @@ type Proxy struct {
 	// served at GET /traces and GET /traces/{id}.
 	traces *obs.TraceStore
 
+	// wire is the binary-protocol front, built lazily by ServeWire.
+	wire     *wireFront
+	wireOnce sync.Once
+
 	healthCancel         context.CancelFunc
 	healthDone           chan struct{}
 	startOnce, closeOnce sync.Once
@@ -151,6 +166,12 @@ func New(cfg Config) *Proxy {
 	if cfg.PendingCap <= 0 {
 		cfg.PendingCap = 16384
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = serve.DefaultMaxBodyBytes
+	}
+	if len(cfg.WireBackends) > 0 && len(cfg.WireBackends) != len(cfg.Backends) {
+		panic("proxy: WireBackends must parallel Backends one-to-one")
+	}
 	reg := cfg.Obs
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -190,9 +211,12 @@ func New(cfg Config) *Proxy {
 	p.backoffWait = reg.Histogram("env2vec_proxy_backoff_wait_ms", "Backoff slept between one request's forward attempts.", obs.DefLatencyBuckets, nil)
 	p.traces = obs.NewTraceStore(cfg.Trace, reg)
 
-	for _, url := range cfg.Backends {
+	for i, url := range cfg.Backends {
 		url = strings.TrimRight(url, "/")
 		b := &Backend{URL: url, name: backendName(url)}
+		if len(cfg.WireBackends) > 0 {
+			b.wireAddr = cfg.WireBackends[i]
+		}
 		b.alive.Store(true) // optimistic until the first probe pass
 		lbls := obs.Labels{"backend": b.name}
 		b.latency = reg.Histogram("env2vec_proxy_backend_latency_ms", "Forward latency per backend.", obs.DefLatencyBuckets, lbls)
@@ -257,13 +281,16 @@ func (p *Proxy) Start() {
 	})
 }
 
-// Close stops the health loop. In-flight forwards complete on their own.
+// Close stops the health loop and tears down the wire front (listeners,
+// spliced streams, idle backend connections). In-flight HTTP forwards
+// complete on their own.
 func (p *Proxy) Close() {
 	p.closeOnce.Do(func() {
 		if p.healthCancel != nil {
 			p.healthCancel()
 			<-p.healthDone
 		}
+		p.closeWire()
 	})
 }
 
@@ -343,9 +370,13 @@ func (p *Proxy) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(r.Body)
+	body, err := p.readBody(w, r)
 	if err != nil {
-		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		status := http.StatusBadRequest
+		if isBodyTooLarge(err) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, "read body: "+err.Error(), status)
 		return
 	}
 	var key predictKey
@@ -371,9 +402,13 @@ func (p *Proxy) handleObserve(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
-	body, err := io.ReadAll(r.Body)
+	body, err := p.readBody(w, r)
 	if err != nil {
-		jsonError(w, http.StatusBadRequest, "read body: "+err.Error())
+		status := http.StatusBadRequest
+		if isBodyTooLarge(err) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		jsonError(w, status, "read body: "+err.Error())
 		return
 	}
 	var req struct {
@@ -590,7 +625,15 @@ func (p *Proxy) attempt(b *Backend, path string, body []byte, reqID, parentSpanI
 		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
-	respBody, err := io.ReadAll(resp.Body)
+	// Error-status bodies are relayed for their message, nothing more — a
+	// misbehaving backend must not be able to balloon the proxy's memory
+	// with a gigabyte of 500 page. Success bodies carry predictions and
+	// span trees and are read in full.
+	bodyReader := io.Reader(resp.Body)
+	if resp.StatusCode >= 300 {
+		bodyReader = io.LimitReader(resp.Body, maxErrorBodyBytes)
+	}
+	respBody, err := io.ReadAll(bodyReader)
 	if err != nil {
 		b.failed.Inc()
 		p.attemptErr.Observe(obs.MS(time.Since(t0)))
@@ -739,6 +782,23 @@ func (p *Proxy) takeSticky(id string) (*Backend, bool) {
 		delete(p.sticky, id)
 	}
 	return b, ok
+}
+
+// maxErrorBodyBytes caps how much of a backend's error-status body the
+// proxy reads before relaying it.
+const maxErrorBodyBytes = 64 << 10
+
+// readBody drains one inbound request body under the configured cap.
+// Exceeding it surfaces as *http.MaxBytesError (and MaxBytesReader has
+// already stamped Connection: close on the response).
+func (p *Proxy) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, p.cfg.MaxBodyBytes))
+}
+
+// isBodyTooLarge reports whether err came from MaxBytesReader's cap.
+func isBodyTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
 }
 
 // jsonError mirrors serve's error body shape.

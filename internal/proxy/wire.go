@@ -1,0 +1,622 @@
+package proxy
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"env2vec/internal/envmeta"
+	"env2vec/internal/obs"
+	"env2vec/internal/serve"
+	"env2vec/internal/wire"
+)
+
+// wireFront is the proxy's binary-protocol face: the same ring, health
+// hysteresis, retry budget, sticky bookkeeping, and trace stitching as the
+// JSON handlers, but speaking wire frames end to end — requests decoded
+// off the client connection are re-framed (never re-marshalled through
+// JSON) onto pooled backend connections.
+type wireFront struct {
+	p *Proxy
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+
+	pools map[string]*wirePool // keyed by backend wire address
+
+	connsTotal, batches  *obs.Counter
+	subsTotal, relayErrs *obs.Counter
+}
+
+// wirePool keeps idle wire clients to one backend for reuse. Checked-out
+// clients that hit a transport error are discarded, not returned.
+type wirePool struct {
+	addr string
+	cfg  wire.ClientConfig
+
+	mu   sync.Mutex
+	idle []*wire.Client
+}
+
+const wirePoolIdleCap = 8
+
+func (wp *wirePool) get() (*wire.Client, error) {
+	wp.mu.Lock()
+	if n := len(wp.idle); n > 0 {
+		c := wp.idle[n-1]
+		wp.idle = wp.idle[:n-1]
+		wp.mu.Unlock()
+		return c, nil
+	}
+	wp.mu.Unlock()
+	return wire.Dial(wp.addr, wp.cfg)
+}
+
+func (wp *wirePool) put(c *wire.Client) {
+	wp.mu.Lock()
+	if len(wp.idle) < wirePoolIdleCap {
+		wp.idle = append(wp.idle, c)
+		wp.mu.Unlock()
+		return
+	}
+	wp.mu.Unlock()
+	c.Close()
+}
+
+func (wp *wirePool) drain() {
+	wp.mu.Lock()
+	idle := wp.idle
+	wp.idle = nil
+	wp.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}
+
+// initWireFront builds the front lazily on the first ServeWire call; it
+// panics when the proxy was configured without WireBackends because a wire
+// listener with no wire backends cannot route anything.
+func (p *Proxy) initWireFront() *wireFront {
+	p.wireOnce.Do(func() {
+		if len(p.cfg.WireBackends) == 0 {
+			panic("proxy: ServeWire requires Config.WireBackends")
+		}
+		wf := &wireFront{
+			p:         p,
+			listeners: make(map[net.Listener]struct{}),
+			conns:     make(map[net.Conn]struct{}),
+			pools:     make(map[string]*wirePool),
+		}
+		ccfg := wire.ClientConfig{Timeout: p.cfg.Timeout}
+		for _, b := range p.backends {
+			if b.wireAddr != "" {
+				wf.pools[b.wireAddr] = &wirePool{addr: b.wireAddr, cfg: ccfg}
+			}
+		}
+		wf.connsTotal = p.reg.Counter("env2vec_proxy_wire_connections_total", "Wire-protocol client connections accepted by the proxy.", nil)
+		wf.batches = p.reg.Counter("env2vec_proxy_wire_batches_total", "Predict batch frames routed by the wire front.", nil)
+		wf.subsTotal = p.reg.Counter("env2vec_proxy_wire_subscriptions_total", "Subscribe streams spliced through to backends.", nil)
+		wf.relayErrs = p.reg.Counter("env2vec_proxy_wire_relay_errors_total", "Wire batches or streams that failed against every candidate.", nil)
+		p.wire = wf
+	})
+	return p.wire
+}
+
+// ServeWire accepts binary-protocol connections on ln and routes them over
+// the same backend pool as the HTTP handlers. Call from its own goroutine;
+// it returns when ln or the proxy closes.
+func (p *Proxy) ServeWire(ln net.Listener) error {
+	wf := p.initWireFront()
+	wf.mu.Lock()
+	if wf.closed {
+		wf.mu.Unlock()
+		ln.Close()
+		return errors.New("proxy: wire front closed")
+	}
+	wf.listeners[ln] = struct{}{}
+	wf.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wf.mu.Lock()
+			closed := wf.closed
+			delete(wf.listeners, ln)
+			wf.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		wf.mu.Lock()
+		if wf.closed {
+			wf.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		wf.conns[conn] = struct{}{}
+		wf.wg.Add(1)
+		wf.mu.Unlock()
+		wf.connsTotal.Inc()
+		go func() {
+			defer wf.wg.Done()
+			wf.handleConn(conn)
+			wf.mu.Lock()
+			delete(wf.conns, conn)
+			wf.mu.Unlock()
+		}()
+	}
+}
+
+// closeWire tears down the wire front: listeners, live connections, idle
+// backend pools. Called from Proxy.Close.
+func (p *Proxy) closeWire() {
+	wf := p.wire
+	if wf == nil {
+		return
+	}
+	wf.mu.Lock()
+	if wf.closed {
+		wf.mu.Unlock()
+		return
+	}
+	wf.closed = true
+	for ln := range wf.listeners {
+		ln.Close()
+	}
+	for conn := range wf.conns {
+		conn.Close()
+	}
+	pools := wf.pools
+	wf.mu.Unlock()
+	for _, wp := range pools {
+		wp.drain()
+	}
+	wf.wg.Wait()
+}
+
+// handleConn speaks the wire protocol with one client: handshake, then
+// batch frames routed with failover, or one subscribe stream spliced
+// through to its home backend.
+func (wf *wireFront) handleConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	write := func(typ byte, payload []byte) error {
+		if err := wire.WriteFrame(bw, typ, payload); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	fail := func(code int, msg string) {
+		_ = write(wire.FrameError, wire.AppendError(nil, wire.ErrorFrame{Code: code, Message: msg}))
+	}
+
+	f, err := wire.ReadFrame(br, wire.DefaultMaxPayload)
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			fail(http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	if f.Type != wire.FrameHello {
+		fail(http.StatusBadRequest, "wire: expected Hello")
+		return
+	}
+	hello, err := wire.DecodeHello(f.Payload)
+	if err != nil {
+		fail(http.StatusBadRequest, err.Error())
+		return
+	}
+	if hello.Version != wire.ProtocolVersion {
+		fail(http.StatusHTTPVersionNotSupported, wire.ErrVersion.Error())
+		return
+	}
+	if err := write(wire.FrameHelloAck, wire.AppendHello(nil, wire.Hello{
+		Version: wire.ProtocolVersion, Features: wire.FeatureBatch | wire.FeatureSubscribe,
+	})); err != nil {
+		return
+	}
+
+	for {
+		f, err := wire.ReadFrame(br, wire.DefaultMaxPayload)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				fail(http.StatusBadRequest, err.Error())
+			}
+			return
+		}
+		switch f.Type {
+		case wire.FramePredictBatch:
+			reqs, err := wire.DecodePredictBatch(f.Payload)
+			if err != nil {
+				fail(http.StatusBadRequest, err.Error())
+				return
+			}
+			wf.batches.Inc()
+			replies := wf.routeBatch(reqs)
+			if err := write(wire.FramePredictReply, wire.AppendPredictReplies(nil, replies)); err != nil {
+				return
+			}
+
+		case wire.FrameSubscribe:
+			sub, err := wire.DecodeSubscribe(f.Payload)
+			if err != nil {
+				fail(http.StatusBadRequest, err.Error())
+				return
+			}
+			// The stream takes over the connection; splice returns when
+			// either side closes.
+			wf.splice(conn, br, bw, sub)
+			return
+
+		default:
+			fail(http.StatusBadRequest, "wire: unexpected frame type")
+			return
+		}
+	}
+}
+
+// routeBatch forwards one decoded batch to the ring. Requests are grouped
+// by environment key (scatter), each group rides the key's candidate list
+// with the usual retry budget, and replies land back in request order
+// (gather). Transport failures feed the health state machine exactly like
+// HTTP forward failures.
+func (wf *wireFront) routeBatch(reqs []*serve.Request) []wire.Reply {
+	p := wf.p
+	replies := make([]wire.Reply, len(reqs))
+
+	// Admission control shares the pool-wide in-flight bound with HTTP.
+	if p.totalInflight.Load() >= int64(p.cfg.MaxInflight) {
+		p.shed.Inc()
+		for i, r := range reqs {
+			replies[i] = wire.Reply{RequestID: r.RequestID, Status: http.StatusTooManyRequests, Error: "proxy: pool saturated"}
+		}
+		return replies
+	}
+
+	// Scatter: group request indices by environment key, preserving order
+	// within a group.
+	groups := make(map[string][]int)
+	var order []string
+	for i, r := range reqs {
+		if r.RequestID == "" {
+			r.RequestID = obs.NewRequestID()
+		}
+		key := envmeta.Environment{Testbed: r.Testbed, SUT: r.SUT, Testcase: r.Testcase, Build: r.Build}.String()
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+
+	for _, key := range order {
+		idxs := groups[key]
+		group := make([]*serve.Request, len(idxs))
+		for j, i := range idxs {
+			group[j] = reqs[i]
+		}
+		got := wf.forwardGroup(key, group)
+		for j, i := range idxs {
+			replies[i] = got[j]
+		}
+	}
+	return replies
+}
+
+// forwardGroup sends one same-environment slice of a batch along its
+// candidate backends. A conclusive answer (any non-retryable item) stops
+// the walk; a transport error or an all-shed reply tries the next
+// candidate after the usual backoff.
+func (wf *wireFront) forwardGroup(key string, group []*serve.Request) []wire.Reply {
+	p := wf.p
+	t0 := time.Now()
+	rootID := obs.NewSpanID()
+	traceID := group[0].RequestID
+	var spans []obs.Span
+	attempts := 0
+	finish := func(outcome, errMsg string) {
+		dur := obs.MS(time.Since(t0))
+		root := obs.Span{
+			TraceID: traceID, SpanID: rootID, Name: "proxy.request",
+			StartUnixUS: t0.UnixMicro(), DurationMS: dur,
+		}
+		root.SetAttr("outcome", outcome)
+		root.SetAttr("path", "wire:batch")
+		root.SetAttr("batch_size", strconv.Itoa(len(group)))
+		if errMsg != "" {
+			root.SetAttr("error", errMsg)
+		}
+		switch outcome {
+		case obs.OutcomeServed:
+			p.latServed.ObserveExemplar(dur, traceID)
+		case obs.OutcomeShed:
+			p.latShed.ObserveExemplar(dur, traceID)
+		default:
+			p.latFailed.ObserveExemplar(dur, traceID)
+		}
+		p.traces.Add(obs.Trace{
+			TraceID: traceID, Root: root.Name, Outcome: outcome, Retried: attempts > 1,
+			StartUnixUS: root.StartUnixUS, DurationMS: dur,
+			Spans: append([]obs.Span{root}, spans...),
+		})
+	}
+
+	candidates := p.route(key)
+	n := 0
+	for _, b := range candidates {
+		if b.wireAddr != "" {
+			candidates[n] = b
+			n++
+		}
+	}
+	candidates = candidates[:n]
+	if len(candidates) == 0 {
+		p.failed.Inc()
+		wf.relayErrs.Inc()
+		finish(obs.OutcomeFailed, "proxy: no live wire backends")
+		return errReplies(group, http.StatusServiceUnavailable, "proxy: no live wire backends")
+	}
+
+	backoff := p.cfg.RetryBackoff
+	var lastErr error
+	allShed := false
+	for i, b := range candidates {
+		waited := time.Duration(0)
+		if i > 0 {
+			p.retries.Inc()
+			waited = backoff
+			time.Sleep(backoff)
+			p.backoffWait.Observe(obs.MS(waited))
+			backoff *= 2
+		}
+		attempts++
+		span := obs.Span{TraceID: traceID, SpanID: obs.NewSpanID(), ParentID: rootID, Name: "proxy.attempt"}
+		span.SetAttr("backend", b.name)
+		span.SetAttr("attempt", strconv.Itoa(attempts))
+		if waited > 0 {
+			span.SetAttr("backoff_wait_ms", strconv.FormatFloat(obs.MS(waited), 'g', -1, 64))
+		}
+		// Backend spans parent onto this attempt, as on the HTTP path.
+		for _, r := range group {
+			r.TraceParent = obs.FormatTraceParent(r.RequestID, span.SpanID)
+		}
+		aStart := time.Now()
+		span.StartUnixUS = aStart.UnixMicro()
+		got, err := wf.attemptWire(b, group)
+		span.DurationMS = obs.MS(time.Since(aStart))
+		if err != nil {
+			span.SetAttr("outcome", "failed")
+			span.SetAttr("error", err.Error())
+			spans = append(spans, span)
+			p.attemptErr.Observe(span.DurationMS)
+			b.failed.Inc()
+			p.health.reportFailure(b)
+			lastErr = err
+			p.log.Debug("wire forward failed, failing over", "backend", b.name, "err", err)
+			continue
+		}
+		p.attemptOK.Observe(span.DurationMS)
+		b.latency.ObserveExemplar(span.DurationMS, traceID)
+		allShed = true
+		for _, rep := range got {
+			if !retryableStatus(rep.Status) {
+				allShed = false
+				break
+			}
+		}
+		if allShed {
+			// The whole slice bounced (queue full, no model) — the next
+			// candidate might hold it, same spill the HTTP path does on 429.
+			span.SetAttr("outcome", "shed")
+			spans = append(spans, span)
+			p.log.Debug("wire backend refused batch, failing over", "backend", b.name)
+			continue
+		}
+		if i > 0 {
+			p.failovers.Inc()
+			span.SetAttr("outcome", "failover")
+		} else {
+			span.SetAttr("outcome", "served")
+		}
+		spans = append(spans, span)
+		served := 0
+		for _, rep := range got {
+			if rep.Status < 300 {
+				served++
+				p.rememberSticky(rep.RequestID, b)
+			}
+			spans = append(spans, rep.Spans...)
+		}
+		if served > 0 {
+			p.served.Inc()
+			b.served.Inc()
+			finish(obs.OutcomeServed, "")
+		} else {
+			p.failed.Inc()
+			finish(obs.OutcomeFailed, "no item in batch served")
+		}
+		return got
+	}
+
+	p.failed.Inc()
+	wf.relayErrs.Inc()
+	if allShed {
+		p.shed.Inc()
+		finish(obs.OutcomeShed, "proxy: fleet saturated")
+		return errReplies(group, http.StatusTooManyRequests, "proxy: fleet saturated")
+	}
+	msg := "proxy: all candidates unreachable"
+	if lastErr != nil {
+		msg += ": " + lastErr.Error()
+	}
+	finish(obs.OutcomeFailed, msg)
+	return errReplies(group, http.StatusBadGateway, msg)
+}
+
+// attemptWire runs one batch against one backend over a pooled client.
+// Transport errors discard the client; protocol-level remote errors are
+// surfaced as errors too (the connection state is unknown, drop it).
+func (wf *wireFront) attemptWire(b *Backend, group []*serve.Request) ([]wire.Reply, error) {
+	p := wf.p
+	wf.mu.Lock()
+	wp := wf.pools[b.wireAddr]
+	wf.mu.Unlock()
+	if wp == nil {
+		return nil, fmt.Errorf("proxy: no wire pool for %s", b.name)
+	}
+	b.inflight.Add(1)
+	p.totalInflight.Add(1)
+	defer func() {
+		b.inflight.Add(-1)
+		p.totalInflight.Add(-1)
+	}()
+	c, err := wp.get()
+	if err != nil {
+		return nil, err
+	}
+	replies, err := c.Predict(group)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	wp.put(c)
+	return replies, nil
+}
+
+func errReplies(group []*serve.Request, code int, msg string) []wire.Reply {
+	out := make([]wire.Reply, len(group))
+	for i, r := range group {
+		out[i] = wire.Reply{RequestID: r.RequestID, Status: code, Error: msg}
+	}
+	return out
+}
+
+// splice pins a subscribe stream to its environment's home backend and
+// then relays raw bytes both ways — no per-frame decode on the hot path.
+// The backend handshake and Subscribe are replayed; its SubscribeAck (or
+// error) relays to the client, after which the two connections are joined
+// until either side closes. Stream failover is reconnect-shaped by design:
+// the client redials the proxy and the ring picks the new home.
+func (wf *wireFront) splice(client net.Conn, br *bufio.Reader, bw *bufio.Writer, sub wire.Subscribe) {
+	p := wf.p
+	fail := func(code int, msg string) {
+		_ = wire.WriteFrame(bw, wire.FrameError, wire.AppendError(nil, wire.ErrorFrame{Code: code, Message: msg}))
+		_ = bw.Flush()
+	}
+	key := sub.Env.String()
+	candidates := p.route(key)
+	var backendConn net.Conn
+	var backendBR *bufio.Reader
+	var picked *Backend
+	for _, b := range candidates {
+		if b.wireAddr == "" {
+			continue
+		}
+		conn, brd, err := wf.dialSubscribe(b, sub)
+		if err != nil {
+			p.health.reportFailure(b)
+			p.log.Debug("wire subscribe dial failed, failing over", "backend", b.name, "err", err)
+			continue
+		}
+		backendConn, backendBR, picked = conn, brd, b
+		break
+	}
+	if backendConn == nil {
+		wf.relayErrs.Inc()
+		fail(http.StatusServiceUnavailable, "proxy: no live wire backends")
+		return
+	}
+	defer backendConn.Close()
+	wf.subsTotal.Inc()
+	p.log.Info("wire stream spliced", "backend", picked.name, "env", key)
+
+	// Track the backend conn so Close severs parked streams too.
+	wf.mu.Lock()
+	if wf.closed {
+		wf.mu.Unlock()
+		return
+	}
+	wf.conns[backendConn] = struct{}{}
+	wf.mu.Unlock()
+	defer func() {
+		wf.mu.Lock()
+		delete(wf.conns, backendConn)
+		wf.mu.Unlock()
+	}()
+
+	// Join the connections. backendBR holds the backend's SubscribeAck
+	// (already relayed? no — dialSubscribe leaves it buffered) plus any
+	// early predictions; br may hold pipelined windows the client sent
+	// before our ack. Both buffered remainders must flow first.
+	done := make(chan struct{}, 2)
+	go func() {
+		// client → backend: anything the client buffered, then the raw conn.
+		_, _ = io.Copy(backendConn, io.MultiReader(br, client))
+		// Half-close toward the backend if possible so its responder drain
+		// still reaches the client.
+		if tc, ok := backendConn.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		} else {
+			backendConn.Close()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		// backend → client: the buffered ack/predictions, then the raw conn.
+		_, _ = io.Copy(client, io.MultiReader(backendBR, backendConn))
+		client.Close()
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+// dialSubscribe opens a raw wire connection to b, performs the handshake,
+// and forwards sub. The backend's answer (SubscribeAck or FrameError) is
+// left buffered in the returned reader for the splice to relay verbatim.
+func (wf *wireFront) dialSubscribe(b *Backend, sub wire.Subscribe) (net.Conn, *bufio.Reader, error) {
+	p := wf.p
+	d := net.Dialer{Timeout: 5 * time.Second}
+	conn, err := d.Dial("tcp", b.wireAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	brd := bufio.NewReaderSize(conn, 64<<10)
+	// Handshake under a deadline so a wedged backend cannot park the
+	// subscriber forever; cleared before the splice.
+	_ = conn.SetDeadline(time.Now().Add(p.cfg.Timeout))
+	if err := wire.WriteFrame(conn, wire.FrameHello, wire.AppendHello(nil, wire.Hello{Version: wire.ProtocolVersion})); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	f, err := wire.ReadFrame(brd, wire.DefaultMaxPayload)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	if f.Type != wire.FrameHelloAck {
+		conn.Close()
+		return nil, nil, fmt.Errorf("proxy: backend %s refused wire handshake", b.name)
+	}
+	if err := wire.WriteFrame(conn, wire.FrameSubscribe, wire.AppendSubscribe(nil, sub)); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	// Peek one byte of the answer so a dead backend fails the candidate
+	// walk here, not after the splice started.
+	if _, err := brd.Peek(1); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return conn, brd, nil
+}

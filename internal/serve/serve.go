@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"net/http"
@@ -62,6 +63,11 @@ type Config struct {
 	// /observe (default 4096). Oldest entries are evicted first; observing
 	// an evicted id returns 404.
 	PendingCap int
+
+	// MaxBodyBytes caps how much of a request body the JSON handlers will
+	// read (default 4 MiB; negative disables the cap). Oversized bodies
+	// are rejected with 413 instead of being buffered to OOM.
+	MaxBodyBytes int64
 
 	// Trace sizes the tail-sampled trace store behind GET /traces: every
 	// HTTP request's span tree is offered to it on completion, and failed,
@@ -252,6 +258,9 @@ func New(cfg Config) *Server {
 	if cfg.PendingCap <= 0 {
 		cfg.PendingCap = 4096
 	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
 	if cfg.Detect != nil && cfg.Detect.Gamma <= 0 {
 		panic(fmt.Sprintf("serve: detection gamma must be positive, got %v", cfg.Detect.Gamma))
 	}
@@ -381,10 +390,10 @@ var (
 	ErrClosed     = errors.New("serve: server shutting down")
 )
 
-// Do submits one request and blocks until a worker has served it (or it was
-// rejected). It returns the response and an HTTP-shaped status code; this is
-// also the non-HTTP entry point the benchmarks drive.
-func (s *Server) Do(req *Request) (*Response, int, error) {
+// submit validates and enqueues one request without waiting for its
+// result. On success the returned item's done channel closes when a worker
+// has served it.
+func (s *Server) submit(req *Request) (*item, int, error) {
 	b := s.bundle.Load()
 	if b == nil {
 		return nil, http.StatusServiceUnavailable, ErrNoModel
@@ -410,8 +419,54 @@ func (s *Server) Do(req *Request) (*Response, int, error) {
 		s.log.Debug("request shed: queue full", "request_id", it.id, "queue_capacity", s.cfg.QueueDepth)
 		return nil, http.StatusTooManyRequests, ErrOverloaded
 	}
+	return it, 0, nil
+}
+
+// Do submits one request and blocks until a worker has served it (or it was
+// rejected). It returns the response and an HTTP-shaped status code; this is
+// also the non-HTTP entry point the benchmarks drive.
+func (s *Server) Do(req *Request) (*Response, int, error) {
+	it, code, err := s.submit(req)
+	if err != nil {
+		return nil, code, err
+	}
 	<-it.done
 	return it.resp, it.code, it.err
+}
+
+// BatchResult is one request's outcome in a DoBatch call.
+type BatchResult struct {
+	Resp *Response
+	Code int
+	Err  error
+}
+
+// DoBatch submits many requests in one admission pass and waits for all of
+// them. The requests enter the same bounded queue Do uses — they flow
+// straight into the micro-batcher as individual items, so a wire-protocol
+// batch maps 1:1 onto forward-pass batches with no re-marshal between
+// transport and batching. Each request is admitted (or shed) independently:
+// one oversized or invalid request fails alone, and queue overflow sheds
+// the tail of the batch, not the whole thing.
+func (s *Server) DoBatch(reqs []*Request) []BatchResult {
+	results := make([]BatchResult, len(reqs))
+	items := make([]*item, len(reqs))
+	for i, req := range reqs {
+		it, code, err := s.submit(req)
+		if err != nil {
+			results[i] = BatchResult{Code: code, Err: err}
+			continue
+		}
+		items[i] = it
+	}
+	for i, it := range items {
+		if it == nil {
+			continue
+		}
+		<-it.done
+		results[i] = BatchResult{Resp: it.resp, Code: it.code, Err: it.err}
+	}
+	return results
 }
 
 func validate(req *Request, b *Bundle) error {
@@ -695,8 +750,46 @@ func (s *Server) scoreAnomaly(req *Request, pred float64, resp *Response) {
 
 // ── HTTP surface ────────────────────────────────────────────────────────
 
+// DefaultMaxBodyBytes is the request-body cap applied when
+// Config.MaxBodyBytes is zero: large enough for any real predict or
+// observe payload, small enough that a hostile client cannot make the
+// handler buffer gigabytes.
+const DefaultMaxBodyBytes int64 = 4 << 20
+
 // ServeHTTP implements http.Handler: POST /predict, GET /healthz, GET /statz.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// limitBody wraps the request body with http.MaxBytesReader so a hostile
+// or buggy client gets 413 instead of OOMing the daemon.
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+}
+
+// decodeStrict decodes exactly one JSON value from body: unknown fields
+// and trailing garbage are errors, so a protocol typo ("windows" for
+// "window") fails loudly instead of silently zero-filling the request.
+func decodeStrict(body io.Reader, v any) error {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		if err == nil {
+			err = errors.New("trailing data after JSON value")
+		}
+		return err
+	}
+	return nil
+}
+
+// isBodyTooLarge reports whether a decode error came from MaxBytesReader.
+func isBodyTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -704,8 +797,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
+	s.limitBody(w, r)
 	var req Request
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeStrict(r.Body, &req); err != nil {
+		if isBodyTooLarge(err) {
+			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "invalid request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -831,8 +929,13 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusServiceUnavailable, "quality monitor disabled")
 		return
 	}
+	s.limitBody(w, r)
 	var req ObserveRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeStrict(r.Body, &req); err != nil {
+		if isBodyTooLarge(err) {
+			jsonError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			return
+		}
 		jsonError(w, http.StatusBadRequest, "invalid request: "+err.Error())
 		return
 	}

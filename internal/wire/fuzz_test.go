@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"env2vec/internal/obs"
+	"env2vec/internal/serve"
+)
+
+// decodeErrs are the only errors the decoders are allowed to return: every
+// failure must be typed, never a panic and never an unwrapped fmt error.
+var decodeErrs = []error{ErrBadMagic, ErrBadCRC, ErrTooLarge, ErrTruncated, ErrCorrupt, ErrVersion}
+
+func isTyped(err error) bool {
+	for _, sentinel := range decodeErrs {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzWireDecode throws arbitrary bytes at the frame reader and every
+// payload decoder. Truncated, bit-flipped, oversized, and interleaved
+// frames must come back as typed errors — a panic or an untyped error
+// fails the run.
+func FuzzWireDecode(f *testing.F) {
+	// Seed corpus: valid frames of every type, concatenations, and a few
+	// deliberately broken variants so the fuzzer starts near the
+	// interesting boundaries.
+	actual := 51.5
+	reqs := []*serve.Request{{
+		CF: []float64{1, 2, 3}, Window: []float64{4, 5},
+		Testbed: "tb", SUT: "s", Testcase: "tc", Build: "b",
+		ChainID: "c", Actual: &actual, RequestID: "0123456789abcdef",
+	}}
+	anom := true
+	replies := []Reply{{
+		RequestID: "0123456789abcdef", Status: 200, Prediction: 49.5,
+		Model: "m", ModelVersion: 2, BatchSize: 4, Anomalous: &anom,
+		Spans: []obs.Span{{TraceID: "0123456789abcdef", SpanID: "aa", Name: "serve.request"}},
+	}}
+	seeds := [][]byte{
+		AppendFrame(nil, FrameHello, AppendHello(nil, Hello{Version: 1, Features: 3})),
+		AppendFrame(nil, FramePredictBatch, AppendPredictBatch(nil, reqs)),
+		AppendFrame(nil, FramePredictReply, AppendPredictReplies(nil, replies)),
+		AppendFrame(nil, FrameSubscribe, AppendSubscribe(nil, Subscribe{Env: testEnv, ChainID: "c1"})),
+		AppendFrame(nil, FrameSubscribeAck, AppendSubscribeAck(nil, SubscribeAck{Model: "m", Version: 1, In: 6, Window: 20})),
+		AppendFrame(nil, FrameWindow, AppendWindow(nil, Window{Seq: 1, CF: []float64{1}, Window: []float64{2}})),
+		AppendFrame(nil, FramePrediction, AppendPrediction(nil, Prediction{Seq: 1, Status: 200, Value: 3.5})),
+		AppendFrame(nil, FrameError, AppendError(nil, ErrorFrame{Code: 429, Seq: 7, Message: "shed"})),
+		{},
+		bytes.Repeat([]byte{0xFF}, 64),
+	}
+	// Interleaved frames and a torn tail.
+	multi := append(append([]byte(nil), seeds[1]...), seeds[6]...)
+	seeds = append(seeds, multi, multi[:len(multi)-3])
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxPayload = 1 << 20
+		// Walk the buffer frame by frame, as the server's read loop does.
+		rest := data
+		for i := 0; i < 64 && len(rest) > 0; i++ {
+			fr, next, err := DecodeFrame(rest, maxPayload)
+			if err != nil {
+				if !isTyped(err) {
+					t.Fatalf("untyped frame error: %v", err)
+				}
+				break
+			}
+			if len(next) >= len(rest) {
+				t.Fatalf("DecodeFrame made no progress (%d -> %d bytes)", len(rest), len(next))
+			}
+			rest = next
+			// Every payload decoder must hold against a CRC-valid but
+			// adversarial payload too (the fuzzer can forge checksums).
+			var perr error
+			switch fr.Type {
+			case FrameHello, FrameHelloAck:
+				_, perr = DecodeHello(fr.Payload)
+			case FramePredictBatch:
+				_, perr = DecodePredictBatch(fr.Payload)
+			case FramePredictReply:
+				_, perr = DecodePredictReplies(fr.Payload)
+			case FrameSubscribe:
+				_, perr = DecodeSubscribe(fr.Payload)
+			case FrameSubscribeAck:
+				_, perr = DecodeSubscribeAck(fr.Payload)
+			case FrameWindow:
+				_, perr = DecodeWindow(fr.Payload)
+			case FramePrediction:
+				_, perr = DecodePrediction(fr.Payload)
+			case FrameError:
+				_, perr = DecodeError(fr.Payload)
+			}
+			if perr != nil && !isTyped(perr) {
+				t.Fatalf("untyped payload error for frame 0x%02x: %v", fr.Type, perr)
+			}
+		}
+
+		// The streaming reader classifies the same bytes without hanging or
+		// panicking; io.EOF only on a clean frame boundary.
+		br := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			_, err := ReadFrame(br, maxPayload)
+			if err == nil {
+				continue
+			}
+			if err != io.EOF && !isTyped(err) {
+				t.Fatalf("untyped ReadFrame error: %v", err)
+			}
+			break
+		}
+	})
+}

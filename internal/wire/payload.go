@@ -1,0 +1,747 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"env2vec/internal/envmeta"
+	"env2vec/internal/obs"
+	"env2vec/internal/serve"
+)
+
+// Payload limits. Everything a decoder allocates is bounded up front, so a
+// corrupt or hostile length can cost at most the frame it arrived in.
+const (
+	maxStringLen = 64 << 10 // ids, names, error messages
+	maxSpans     = 1024
+	maxAttrs     = 64
+)
+
+// ── primitive readers ──────────────────────────────────────────────────
+
+// reader walks a payload with bounds-checked reads; every failure is
+// ErrCorrupt-wrapped, never a panic.
+type reader struct {
+	b []byte
+}
+
+func (r *reader) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: %s", ErrCorrupt, what)
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *reader) varint(what string) (int64, error) {
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: %s", ErrCorrupt, what)
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *reader) str(what string) (string, error) {
+	n, err := r.uvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen || n > uint64(len(r.b)) {
+		return "", fmt.Errorf("%w: %s length %d", ErrCorrupt, what, n)
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s, nil
+}
+
+func (r *reader) f64(what string) (float64, error) {
+	if len(r.b) < 8 {
+		return 0, fmt.Errorf("%w: %s", ErrCorrupt, what)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v, nil
+}
+
+func (r *reader) floats(what string) ([]float64, error) {
+	n, err := r.uvarint(what + " count")
+	if err != nil {
+		return nil, err
+	}
+	if n*8 > uint64(len(r.b)) {
+		return nil, fmt.Errorf("%w: %s count %d", ErrCorrupt, what, n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.b[i*8:]))
+	}
+	r.b = r.b[n*8:]
+	return out, nil
+}
+
+func (r *reader) byteVal(what string) (byte, error) {
+	if len(r.b) == 0 {
+		return 0, fmt.Errorf("%w: %s", ErrCorrupt, what)
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+// done rejects trailing garbage: a payload must be consumed exactly.
+func (r *reader) done() error {
+	if len(r.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.b))
+	}
+	return nil
+}
+
+// ── primitive writers ──────────────────────────────────────────────────
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendFloats(dst []byte, vs []float64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = appendF64(dst, v)
+	}
+	return dst
+}
+
+// ── Hello / HelloAck ───────────────────────────────────────────────────
+
+// Hello is the FrameHello / FrameHelloAck payload: version plus a feature
+// bitmask (the ack advertises what the server serves).
+type Hello struct {
+	Version  int
+	Features uint64
+}
+
+// AppendHello renders h as a Hello/HelloAck payload.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = binary.AppendUvarint(dst, uint64(h.Version))
+	return binary.AppendUvarint(dst, h.Features)
+}
+
+// DecodeHello parses a Hello/HelloAck payload.
+func DecodeHello(p []byte) (Hello, error) {
+	r := reader{p}
+	v, err := r.uvarint("hello version")
+	if err != nil {
+		return Hello{}, err
+	}
+	f, err := r.uvarint("hello features")
+	if err != nil {
+		return Hello{}, err
+	}
+	if v > math.MaxInt32 {
+		return Hello{}, fmt.Errorf("%w: hello version %d", ErrCorrupt, v)
+	}
+	return Hello{Version: int(v), Features: f}, r.done()
+}
+
+// ── Error frame ────────────────────────────────────────────────────────
+
+// ErrorFrame is the FrameError payload: an HTTP-shaped status code, the
+// stream sequence it refers to (0 = connection-level), and a message.
+type ErrorFrame struct {
+	Code    int
+	Seq     uint64
+	Message string
+}
+
+// AppendError renders e as a FrameError payload.
+func AppendError(dst []byte, e ErrorFrame) []byte {
+	dst = binary.AppendUvarint(dst, uint64(e.Code))
+	dst = binary.AppendUvarint(dst, e.Seq)
+	return appendString(dst, e.Message)
+}
+
+// DecodeError parses a FrameError payload.
+func DecodeError(p []byte) (ErrorFrame, error) {
+	r := reader{p}
+	code, err := r.uvarint("error code")
+	if err != nil {
+		return ErrorFrame{}, err
+	}
+	if code > 599 {
+		return ErrorFrame{}, fmt.Errorf("%w: error code %d", ErrCorrupt, code)
+	}
+	seq, err := r.uvarint("error seq")
+	if err != nil {
+		return ErrorFrame{}, err
+	}
+	msg, err := r.str("error message")
+	if err != nil {
+		return ErrorFrame{}, err
+	}
+	return ErrorFrame{Code: int(code), Seq: seq, Message: msg}, r.done()
+}
+
+// ── PredictBatch ───────────────────────────────────────────────────────
+
+// Per-request flag bits.
+const (
+	reqHasActual = 1 << 0
+)
+
+// AppendPredictBatch renders reqs as a FramePredictBatch payload. The
+// requests decode back into the exact serve.Request structs the
+// micro-batcher consumes — no intermediate representation, no re-marshal.
+func AppendPredictBatch(dst []byte, reqs []*serve.Request) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(reqs)))
+	for _, req := range reqs {
+		dst = appendString(dst, req.RequestID)
+		dst = appendString(dst, req.TraceParent)
+		dst = appendString(dst, req.Testbed)
+		dst = appendString(dst, req.SUT)
+		dst = appendString(dst, req.Testcase)
+		dst = appendString(dst, req.Build)
+		dst = appendString(dst, req.ChainID)
+		dst = appendFloats(dst, req.CF)
+		dst = appendFloats(dst, req.Window)
+		var flags byte
+		if req.Actual != nil {
+			flags |= reqHasActual
+		}
+		dst = append(dst, flags)
+		if req.Actual != nil {
+			dst = appendF64(dst, *req.Actual)
+		}
+	}
+	return dst
+}
+
+// DecodePredictBatch parses a FramePredictBatch payload.
+func DecodePredictBatch(p []byte) ([]*serve.Request, error) {
+	r := reader{p}
+	n, err := r.uvarint("batch count")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > MaxBatchItems {
+		return nil, fmt.Errorf("%w: batch count %d", ErrCorrupt, n)
+	}
+	reqs := make([]*serve.Request, 0, n)
+	for i := uint64(0); i < n; i++ {
+		req := &serve.Request{}
+		if req.RequestID, err = r.str("request id"); err != nil {
+			return nil, err
+		}
+		if req.TraceParent, err = r.str("traceparent"); err != nil {
+			return nil, err
+		}
+		if req.Testbed, err = r.str("testbed"); err != nil {
+			return nil, err
+		}
+		if req.SUT, err = r.str("sut"); err != nil {
+			return nil, err
+		}
+		if req.Testcase, err = r.str("testcase"); err != nil {
+			return nil, err
+		}
+		if req.Build, err = r.str("build"); err != nil {
+			return nil, err
+		}
+		if req.ChainID, err = r.str("chain id"); err != nil {
+			return nil, err
+		}
+		if req.CF, err = r.floats("cf"); err != nil {
+			return nil, err
+		}
+		if req.Window, err = r.floats("window"); err != nil {
+			return nil, err
+		}
+		flags, err := r.byteVal("request flags")
+		if err != nil {
+			return nil, err
+		}
+		if flags&reqHasActual != 0 {
+			a, err := r.f64("actual")
+			if err != nil {
+				return nil, err
+			}
+			req.Actual = &a
+		}
+		reqs = append(reqs, req)
+	}
+	return reqs, r.done()
+}
+
+// ── PredictReplies ─────────────────────────────────────────────────────
+
+// Per-reply flag bits.
+const (
+	replyHasAnomalous = 1 << 0
+	replyAnomalous    = 1 << 1
+	replyHasDeviation = 1 << 2
+)
+
+// Reply is one request's outcome within a batched exchange: either a
+// served prediction (Status 200) or an HTTP-shaped error. Spans carry the
+// server's stage span tree so a front tier stitches wire responses into
+// distributed traces exactly like JSON ones.
+type Reply struct {
+	RequestID    string
+	Status       int
+	Error        string // non-empty when Status is not 2xx
+	Prediction   float64
+	Model        string
+	ModelVersion int
+	BatchSize    int
+	Anomalous    *bool
+	Deviation    *float64
+	Spans        []obs.Span
+}
+
+// ReplyFromResult converts one serve outcome into a wire reply.
+func ReplyFromResult(id string, resp *serve.Response, code int, err error) Reply {
+	rep := Reply{RequestID: id, Status: code}
+	if err != nil || resp == nil {
+		if err != nil {
+			rep.Error = err.Error()
+		} else {
+			rep.Error = "serve: no response"
+		}
+		if rep.Status == 0 {
+			rep.Status = 500
+		}
+		return rep
+	}
+	rep.Status = 200
+	rep.Prediction = resp.Prediction
+	rep.Model = resp.Model
+	rep.ModelVersion = resp.ModelVersion
+	rep.BatchSize = resp.BatchSize
+	rep.Anomalous = resp.Anomalous
+	rep.Deviation = resp.Deviation
+	if resp.Trace != nil {
+		rep.Spans = resp.Trace.Spans
+	}
+	return rep
+}
+
+// AppendPredictReplies renders replies as a FramePredictReply payload.
+func AppendPredictReplies(dst []byte, replies []Reply) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(replies)))
+	for _, rep := range replies {
+		dst = appendString(dst, rep.RequestID)
+		dst = binary.AppendUvarint(dst, uint64(rep.Status))
+		if rep.Status != 200 {
+			dst = appendString(dst, rep.Error)
+			continue
+		}
+		dst = appendF64(dst, rep.Prediction)
+		dst = appendString(dst, rep.Model)
+		dst = binary.AppendUvarint(dst, uint64(rep.ModelVersion))
+		dst = binary.AppendUvarint(dst, uint64(rep.BatchSize))
+		var flags byte
+		if rep.Anomalous != nil {
+			flags |= replyHasAnomalous
+			if *rep.Anomalous {
+				flags |= replyAnomalous
+			}
+		}
+		if rep.Deviation != nil {
+			flags |= replyHasDeviation
+		}
+		dst = append(dst, flags)
+		if rep.Deviation != nil {
+			dst = appendF64(dst, *rep.Deviation)
+		}
+		dst = appendSpans(dst, rep.Spans)
+	}
+	return dst
+}
+
+// DecodePredictReplies parses a FramePredictReply payload.
+func DecodePredictReplies(p []byte) ([]Reply, error) {
+	r := reader{p}
+	n, err := r.uvarint("reply count")
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBatchItems {
+		return nil, fmt.Errorf("%w: reply count %d", ErrCorrupt, n)
+	}
+	replies := make([]Reply, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var rep Reply
+		if rep.RequestID, err = r.str("reply id"); err != nil {
+			return nil, err
+		}
+		status, err := r.uvarint("reply status")
+		if err != nil {
+			return nil, err
+		}
+		if status > 599 {
+			return nil, fmt.Errorf("%w: reply status %d", ErrCorrupt, status)
+		}
+		rep.Status = int(status)
+		if rep.Status != 200 {
+			if rep.Error, err = r.str("reply error"); err != nil {
+				return nil, err
+			}
+			replies = append(replies, rep)
+			continue
+		}
+		if rep.Prediction, err = r.f64("prediction"); err != nil {
+			return nil, err
+		}
+		if rep.Model, err = r.str("model"); err != nil {
+			return nil, err
+		}
+		ver, err := r.uvarint("model version")
+		if err != nil {
+			return nil, err
+		}
+		if ver > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: model version %d", ErrCorrupt, ver)
+		}
+		rep.ModelVersion = int(ver)
+		bs, err := r.uvarint("batch size")
+		if err != nil {
+			return nil, err
+		}
+		if bs > MaxBatchItems {
+			return nil, fmt.Errorf("%w: batch size %d", ErrCorrupt, bs)
+		}
+		rep.BatchSize = int(bs)
+		flags, err := r.byteVal("reply flags")
+		if err != nil {
+			return nil, err
+		}
+		if flags&replyHasAnomalous != 0 {
+			a := flags&replyAnomalous != 0
+			rep.Anomalous = &a
+		}
+		if flags&replyHasDeviation != 0 {
+			d, err := r.f64("deviation")
+			if err != nil {
+				return nil, err
+			}
+			rep.Deviation = &d
+		}
+		if rep.Spans, err = decodeSpans(&r, rep.RequestID); err != nil {
+			return nil, err
+		}
+		replies = append(replies, rep)
+	}
+	return replies, r.done()
+}
+
+// ── span encoding ──────────────────────────────────────────────────────
+
+// appendSpans renders a span tree compactly: the trace id is implied by
+// the enclosing reply's request id and restored on decode.
+func appendSpans(dst []byte, spans []obs.Span) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(spans)))
+	for _, sp := range spans {
+		dst = appendString(dst, sp.SpanID)
+		dst = appendString(dst, sp.ParentID)
+		dst = appendString(dst, sp.Name)
+		dst = binary.AppendVarint(dst, sp.StartUnixUS)
+		dst = appendF64(dst, sp.DurationMS)
+		dst = binary.AppendUvarint(dst, uint64(len(sp.Attrs)))
+		for k, v := range sp.Attrs {
+			dst = appendString(dst, k)
+			dst = appendString(dst, v)
+		}
+	}
+	return dst
+}
+
+func decodeSpans(r *reader, traceID string) ([]obs.Span, error) {
+	n, err := r.uvarint("span count")
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSpans {
+		return nil, fmt.Errorf("%w: span count %d", ErrCorrupt, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	spans := make([]obs.Span, 0, n)
+	for i := uint64(0); i < n; i++ {
+		sp := obs.Span{TraceID: traceID}
+		if sp.SpanID, err = r.str("span id"); err != nil {
+			return nil, err
+		}
+		if sp.ParentID, err = r.str("span parent"); err != nil {
+			return nil, err
+		}
+		if sp.Name, err = r.str("span name"); err != nil {
+			return nil, err
+		}
+		if sp.StartUnixUS, err = r.varint("span start"); err != nil {
+			return nil, err
+		}
+		if sp.DurationMS, err = r.f64("span duration"); err != nil {
+			return nil, err
+		}
+		na, err := r.uvarint("span attr count")
+		if err != nil {
+			return nil, err
+		}
+		if na > maxAttrs {
+			return nil, fmt.Errorf("%w: span attr count %d", ErrCorrupt, na)
+		}
+		for j := uint64(0); j < na; j++ {
+			k, err := r.str("span attr key")
+			if err != nil {
+				return nil, err
+			}
+			v, err := r.str("span attr value")
+			if err != nil {
+				return nil, err
+			}
+			sp.SetAttr(k, v)
+		}
+		spans = append(spans, sp)
+	}
+	return spans, nil
+}
+
+// ── Subscribe / SubscribeAck ───────────────────────────────────────────
+
+// Subscribe is the FrameSubscribe payload: the environment tuple this
+// connection streams for, plus the optional anomaly chain id.
+type Subscribe struct {
+	Env     envmeta.Environment
+	ChainID string
+}
+
+// AppendSubscribe renders s as a FrameSubscribe payload.
+func AppendSubscribe(dst []byte, s Subscribe) []byte {
+	dst = appendString(dst, s.Env.Testbed)
+	dst = appendString(dst, s.Env.SUT)
+	dst = appendString(dst, s.Env.Testcase)
+	dst = appendString(dst, s.Env.Build)
+	return appendString(dst, s.ChainID)
+}
+
+// DecodeSubscribe parses a FrameSubscribe payload.
+func DecodeSubscribe(p []byte) (Subscribe, error) {
+	r := reader{p}
+	var s Subscribe
+	var err error
+	if s.Env.Testbed, err = r.str("testbed"); err != nil {
+		return s, err
+	}
+	if s.Env.SUT, err = r.str("sut"); err != nil {
+		return s, err
+	}
+	if s.Env.Testcase, err = r.str("testcase"); err != nil {
+		return s, err
+	}
+	if s.Env.Build, err = r.str("build"); err != nil {
+		return s, err
+	}
+	if s.ChainID, err = r.str("chain id"); err != nil {
+		return s, err
+	}
+	return s, r.done()
+}
+
+// SubscribeAck is the FrameSubscribeAck payload: the served model's
+// identity and input shape, so the subscriber can size its windows without
+// a side-channel /statz call.
+type SubscribeAck struct {
+	Model   string
+	Version int
+	In      int
+	Window  int
+}
+
+// AppendSubscribeAck renders a as a FrameSubscribeAck payload.
+func AppendSubscribeAck(dst []byte, a SubscribeAck) []byte {
+	dst = appendString(dst, a.Model)
+	dst = binary.AppendUvarint(dst, uint64(a.Version))
+	dst = binary.AppendUvarint(dst, uint64(a.In))
+	return binary.AppendUvarint(dst, uint64(a.Window))
+}
+
+// DecodeSubscribeAck parses a FrameSubscribeAck payload.
+func DecodeSubscribeAck(p []byte) (SubscribeAck, error) {
+	r := reader{p}
+	var a SubscribeAck
+	var err error
+	if a.Model, err = r.str("model"); err != nil {
+		return a, err
+	}
+	for _, f := range []struct {
+		what string
+		dst  *int
+	}{{"version", &a.Version}, {"in", &a.In}, {"window", &a.Window}} {
+		v, err := r.uvarint(f.what)
+		if err != nil {
+			return a, err
+		}
+		if v > math.MaxInt32 {
+			return a, fmt.Errorf("%w: %s %d", ErrCorrupt, f.what, v)
+		}
+		*f.dst = int(v)
+	}
+	return a, r.done()
+}
+
+// ── Window / Prediction (stream mode) ──────────────────────────────────
+
+// Window is one streamed timestep: the client's next observation window
+// (and contextual features) for the subscribed environment. Seq correlates
+// the prediction that answers it; predictions may return out of order when
+// windows are pipelined.
+type Window struct {
+	Seq       uint64
+	RequestID string
+	CF        []float64
+	Window    []float64
+	Actual    *float64
+}
+
+// AppendWindow renders w as a FrameWindow payload.
+func AppendWindow(dst []byte, w Window) []byte {
+	dst = binary.AppendUvarint(dst, w.Seq)
+	dst = appendString(dst, w.RequestID)
+	dst = appendFloats(dst, w.CF)
+	dst = appendFloats(dst, w.Window)
+	var flags byte
+	if w.Actual != nil {
+		flags |= reqHasActual
+	}
+	dst = append(dst, flags)
+	if w.Actual != nil {
+		dst = appendF64(dst, *w.Actual)
+	}
+	return dst
+}
+
+// DecodeWindow parses a FrameWindow payload.
+func DecodeWindow(p []byte) (Window, error) {
+	r := reader{p}
+	var w Window
+	var err error
+	if w.Seq, err = r.uvarint("window seq"); err != nil {
+		return w, err
+	}
+	if w.RequestID, err = r.str("window request id"); err != nil {
+		return w, err
+	}
+	if w.CF, err = r.floats("window cf"); err != nil {
+		return w, err
+	}
+	if w.Window, err = r.floats("window values"); err != nil {
+		return w, err
+	}
+	flags, err := r.byteVal("window flags")
+	if err != nil {
+		return w, err
+	}
+	if flags&reqHasActual != 0 {
+		a, err := r.f64("window actual")
+		if err != nil {
+			return w, err
+		}
+		w.Actual = &a
+	}
+	return w, r.done()
+}
+
+// Prediction is one streamed answer, correlated to its Window by Seq.
+type Prediction struct {
+	Seq          uint64
+	Status       int
+	Error        string // non-empty when Status is not 200
+	Value        float64
+	ModelVersion int
+	Anomalous    *bool
+	Deviation    *float64
+}
+
+// AppendPrediction renders p as a FramePrediction payload.
+func AppendPrediction(dst []byte, p Prediction) []byte {
+	dst = binary.AppendUvarint(dst, p.Seq)
+	dst = binary.AppendUvarint(dst, uint64(p.Status))
+	if p.Status != 200 {
+		return appendString(dst, p.Error)
+	}
+	dst = appendF64(dst, p.Value)
+	dst = binary.AppendUvarint(dst, uint64(p.ModelVersion))
+	var flags byte
+	if p.Anomalous != nil {
+		flags |= replyHasAnomalous
+		if *p.Anomalous {
+			flags |= replyAnomalous
+		}
+	}
+	if p.Deviation != nil {
+		flags |= replyHasDeviation
+	}
+	dst = append(dst, flags)
+	if p.Deviation != nil {
+		dst = appendF64(dst, *p.Deviation)
+	}
+	return dst
+}
+
+// DecodePrediction parses a FramePrediction payload.
+func DecodePrediction(b []byte) (Prediction, error) {
+	r := reader{b}
+	var p Prediction
+	var err error
+	if p.Seq, err = r.uvarint("prediction seq"); err != nil {
+		return p, err
+	}
+	status, err := r.uvarint("prediction status")
+	if err != nil {
+		return p, err
+	}
+	if status > 599 {
+		return p, fmt.Errorf("%w: prediction status %d", ErrCorrupt, status)
+	}
+	p.Status = int(status)
+	if p.Status != 200 {
+		if p.Error, err = r.str("prediction error"); err != nil {
+			return p, err
+		}
+		return p, r.done()
+	}
+	if p.Value, err = r.f64("prediction value"); err != nil {
+		return p, err
+	}
+	ver, err := r.uvarint("prediction model version")
+	if err != nil {
+		return p, err
+	}
+	if ver > math.MaxInt32 {
+		return p, fmt.Errorf("%w: prediction model version %d", ErrCorrupt, ver)
+	}
+	p.ModelVersion = int(ver)
+	flags, err := r.byteVal("prediction flags")
+	if err != nil {
+		return p, err
+	}
+	if flags&replyHasAnomalous != 0 {
+		a := flags&replyAnomalous != 0
+		p.Anomalous = &a
+	}
+	if flags&replyHasDeviation != 0 {
+		d, err := r.f64("prediction deviation")
+		if err != nil {
+			return p, err
+		}
+		p.Deviation = &d
+	}
+	return p, r.done()
+}

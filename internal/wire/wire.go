@@ -1,0 +1,173 @@
+// Package wire is the binary serving protocol: a length-prefixed,
+// CRC-32C-framed exchange that carries batched predict requests and
+// responses with no JSON on the hot path, plus a subscribe mode where a
+// client holds one persistent connection per environment and streams
+// windows in / predictions out — the natural shape for a testbed agent
+// sampling every 15 minutes at fleet scale.
+//
+// The framing reuses the idiom proven in the model registry's on-disk log
+// (internal/modelserver/store.go): a fixed header carrying magic, length,
+// and a Castagnoli checksum, followed by a uvarint/fixed-width payload
+// whose decoder bounds-checks every length so arbitrary bytes can never
+// panic or over-allocate (FuzzWireDecode holds it to that).
+//
+// Frame layout (header 14 bytes, big-endian):
+//
+//	magic   uint32  "E2VW"
+//	type    uint8   frame type (FrameHello ... FramePrediction)
+//	flags   uint8   reserved, must be 0
+//	length  uint32  payload bytes (bounded by MaxPayload)
+//	crc     uint32  CRC-32C (Castagnoli) of the payload
+//	payload length bytes
+//
+// A connection opens with Hello/HelloAck version-and-feature negotiation,
+// then speaks either batched request/response (FramePredictBatch →
+// FramePredictReplies) or, after FrameSubscribe/FrameSubscribeAck pins an
+// environment tuple, streaming windows (FrameWindow → FramePrediction,
+// correlated by sequence number, pipelined). Request ids and traceparent
+// fields travel in the payloads, so distributed-trace stitching works
+// exactly as on the JSON path.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ProtocolVersion is negotiated in Hello/HelloAck. A server rejects a
+// client whose version it does not speak with FrameError + ErrVersion.
+const ProtocolVersion = 1
+
+// Feature bits advertised in HelloAck.
+const (
+	// FeatureBatch: the peer serves FramePredictBatch.
+	FeatureBatch uint64 = 1 << 0
+	// FeatureSubscribe: the peer serves FrameSubscribe streaming.
+	FeatureSubscribe uint64 = 1 << 1
+)
+
+// Frame types.
+const (
+	FrameHello        = 0x01 // c→s: uvarint version, uvarint features
+	FrameHelloAck     = 0x02 // s→c: uvarint version, uvarint features
+	FrameError        = 0x0f // s→c: uvarint code, uvarint seq (0 = connection-level), string message
+	FramePredictBatch = 0x10 // c→s: batched predict requests
+	FramePredictReply = 0x11 // s→c: batched predict responses
+	FrameSubscribe    = 0x20 // c→s: environment tuple + chain id
+	FrameSubscribeAck = 0x21 // s→c: model name, version, in, window
+	FrameWindow       = 0x22 // c→s: seq, request id, cf, window, optional actual
+	FramePrediction   = 0x23 // s→c: seq, status, prediction or error
+)
+
+const (
+	frameMagic      = 0x45325657 // "E2VW"
+	frameHeaderSize = 14
+
+	// DefaultMaxPayload bounds one frame's payload; anything larger in a
+	// header is treated as hostile rather than attempted as an allocation.
+	DefaultMaxPayload = 16 << 20
+
+	// MaxBatchItems bounds the requests one FramePredictBatch may carry;
+	// larger counts are corrupt or hostile, not a bigger allocation.
+	MaxBatchItems = 4096
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed protocol errors. Every decode failure surfaces as (or wraps) one
+// of these — never a panic, never a silent zero value.
+var (
+	ErrBadMagic  = errors.New("wire: bad frame magic")
+	ErrBadCRC    = errors.New("wire: frame checksum mismatch")
+	ErrTooLarge  = errors.New("wire: frame payload exceeds cap")
+	ErrTruncated = errors.New("wire: truncated frame")
+	ErrCorrupt   = errors.New("wire: corrupt payload")
+	ErrVersion   = errors.New("wire: unsupported protocol version")
+)
+
+// Frame is one decoded frame: its type byte and raw payload.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// AppendFrame renders one frame (header + payload) onto dst.
+func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], frameMagic)
+	hdr[4] = typ
+	hdr[5] = 0
+	binary.BigEndian.PutUint32(hdr[6:10], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[10:14], crc32.Checksum(payload, castagnoli))
+	return append(append(dst, hdr[:]...), payload...)
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	_, err := w.Write(AppendFrame(nil, typ, payload))
+	return err
+}
+
+// ReadFrame reads exactly one frame from r, enforcing maxPayload (≤ 0
+// means DefaultMaxPayload). io.EOF is returned untouched on a clean
+// boundary; a partial frame surfaces as ErrTruncated.
+func ReadFrame(r *bufio.Reader, maxPayload int) (Frame, error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return Frame{}, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != frameMagic {
+		return Frame{}, ErrBadMagic
+	}
+	length := int(binary.BigEndian.Uint32(hdr[6:10]))
+	if length > maxPayload {
+		return Frame{}, fmt.Errorf("%w: %d bytes (cap %d)", ErrTooLarge, length, maxPayload)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if binary.BigEndian.Uint32(hdr[10:14]) != crc32.Checksum(payload, castagnoli) {
+		return Frame{}, ErrBadCRC
+	}
+	return Frame{Type: hdr[4], Payload: payload}, nil
+}
+
+// DecodeFrame decodes the first frame in b, returning the remaining bytes.
+// This is the pure-bytes twin of ReadFrame that the fuzzer drives.
+func DecodeFrame(b []byte, maxPayload int) (Frame, []byte, error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	if len(b) < frameHeaderSize {
+		return Frame{}, b, ErrTruncated
+	}
+	if binary.BigEndian.Uint32(b[0:4]) != frameMagic {
+		return Frame{}, b, ErrBadMagic
+	}
+	length := int(binary.BigEndian.Uint32(b[6:10]))
+	if length > maxPayload {
+		return Frame{}, b, fmt.Errorf("%w: %d bytes (cap %d)", ErrTooLarge, length, maxPayload)
+	}
+	if length > len(b)-frameHeaderSize {
+		return Frame{}, b, ErrTruncated
+	}
+	payload := b[frameHeaderSize : frameHeaderSize+length]
+	if binary.BigEndian.Uint32(b[10:14]) != crc32.Checksum(payload, castagnoli) {
+		return Frame{}, b, ErrBadCRC
+	}
+	return Frame{Type: b[4], Payload: payload}, b[frameHeaderSize+length:], nil
+}

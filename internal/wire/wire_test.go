@@ -1,0 +1,404 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"env2vec/internal/core"
+	"env2vec/internal/dataset"
+	"env2vec/internal/envmeta"
+	"env2vec/internal/obs"
+	"env2vec/internal/serve"
+)
+
+var testEnv = envmeta.Environment{Testbed: "tb1", SUT: "fw", Testcase: "load", Build: "B1"}
+
+// newTestServe stands up a real serve.Server with a small deterministic
+// bundle — the wire server dispatches into the same micro-batcher the
+// JSON path uses.
+func newTestServe(t *testing.T, seed int64) *serve.Server {
+	t.Helper()
+	cfg := core.Config{In: 3, Hidden: 8, GRUHidden: 4, EmbedDim: 3, Window: 2, Seed: seed}
+	schema := envmeta.NewSchema()
+	schema.Observe(testEnv)
+	schema.Freeze()
+	b := &serve.Bundle{
+		Name: "test", Version: 1,
+		Model:  core.New(cfg, schema),
+		Schema: schema,
+		YScale: dataset.YScaler{Mu: 50, Sigma: 10},
+	}
+	s := serve.New(serve.Config{MaxBatch: 8, MaxLinger: time.Millisecond, QueueDepth: 256, Workers: 2})
+	t.Cleanup(s.Close)
+	s.SetBundle(b)
+	return s
+}
+
+// newTestWire wires a wire.Server to a TCP listener; returns its address.
+func newTestWire(t *testing.T, dispatch *serve.Server, cfg ServerConfig) string {
+	t.Helper()
+	ws := NewServer(dispatch, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = ws.Serve(ln) }()
+	t.Cleanup(ws.Close)
+	return ln.Addr().String()
+}
+
+func testRequest(rng *rand.Rand, id string) *serve.Request {
+	req := &serve.Request{
+		CF:      []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()},
+		Window:  []float64{50 + rng.NormFloat64(), 50 + rng.NormFloat64()},
+		Testbed: testEnv.Testbed, SUT: testEnv.SUT, Testcase: testEnv.Testcase, Build: testEnv.Build,
+		RequestID: id,
+	}
+	return req
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, p := range payloads {
+		raw := AppendFrame(nil, FramePredictBatch, p)
+		f, rest, err := DecodeFrame(raw, 0)
+		if err != nil {
+			t.Fatalf("DecodeFrame(%d bytes): %v", len(p), err)
+		}
+		if f.Type != FramePredictBatch || !bytes.Equal(f.Payload, p) || len(rest) != 0 {
+			t.Fatalf("round trip mismatch: type=%#x payload=%d rest=%d", f.Type, len(f.Payload), len(rest))
+		}
+		// The streaming reader agrees with the bytes decoder.
+		rf, err := ReadFrame(bufio.NewReader(bytes.NewReader(raw)), 0)
+		if err != nil || rf.Type != f.Type || !bytes.Equal(rf.Payload, p) {
+			t.Fatalf("ReadFrame disagrees: %v", err)
+		}
+	}
+	// Two frames back to back: rest carries the second intact.
+	raw := AppendFrame(AppendFrame(nil, FrameHello, []byte("a")), FrameError, []byte("b"))
+	f1, rest, err := DecodeFrame(raw, 0)
+	if err != nil || f1.Type != FrameHello {
+		t.Fatalf("first frame: %v", err)
+	}
+	f2, rest, err := DecodeFrame(rest, 0)
+	if err != nil || f2.Type != FrameError || len(rest) != 0 {
+		t.Fatalf("second frame: %v", err)
+	}
+}
+
+func TestFrameDecodeErrors(t *testing.T) {
+	good := AppendFrame(nil, FramePredictBatch, []byte("payload"))
+
+	if _, _, err := DecodeFrame(good[:5], 0); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header: %v", err)
+	}
+	if _, _, err := DecodeFrame(good[:len(good)-1], 0); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short payload: %v", err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, _, err := DecodeFrame(bad, 0); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0x01 // flip one payload bit
+	if _, _, err := DecodeFrame(bad, 0); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("flipped payload bit: %v", err)
+	}
+	if _, _, err := DecodeFrame(good, 3); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize: %v", err)
+	}
+	// Streaming reader classifies the same defects.
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(good[:7])), 0); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("streaming truncation: %v", err)
+	}
+}
+
+func TestPredictBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	actual := 51.5
+	reqs := []*serve.Request{
+		testRequest(rng, "0123456789abcdef"),
+		{
+			CF: []float64{1}, Window: []float64{2, 3},
+			Testbed: "tb2", SUT: "s", Testcase: "tc", Build: "b",
+			ChainID: "chain-1", Actual: &actual,
+			RequestID:   "fedcba9876543210",
+			TraceParent: obs.FormatTraceParent("fedcba9876543210", "00000000000000aa"),
+		},
+	}
+	got, err := DecodePredictBatch(AppendPredictBatch(nil, reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, reqs) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got[1], reqs[1])
+	}
+
+	// Trailing garbage is corruption, not tolerated slack.
+	raw := append(AppendPredictBatch(nil, reqs), 0x00)
+	if _, err := DecodePredictBatch(raw); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing garbage: %v", err)
+	}
+	if _, err := DecodePredictBatch(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty payload: %v", err)
+	}
+}
+
+func TestPredictRepliesRoundTrip(t *testing.T) {
+	anom, dev := true, 1.25
+	replies := []Reply{
+		{
+			RequestID: "0123456789abcdef", Status: 200,
+			Prediction: 49.75, Model: "env2vec", ModelVersion: 7, BatchSize: 8,
+			Anomalous: &anom, Deviation: &dev,
+			Spans: []obs.Span{
+				{TraceID: "0123456789abcdef", SpanID: "aa", Name: "serve.request", StartUnixUS: 123456, DurationMS: 1.5,
+					Attrs: map[string]string{"outcome": "served"}},
+				{TraceID: "0123456789abcdef", SpanID: "bb", ParentID: "aa", Name: "serve.forward", StartUnixUS: 123460, DurationMS: 0.5},
+			},
+		},
+		{RequestID: "ffff", Status: 429, Error: "serve: queue full"},
+	}
+	got, err := DecodePredictReplies(AppendPredictReplies(nil, replies))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, replies) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, replies)
+	}
+}
+
+func TestStreamPayloadRoundTrips(t *testing.T) {
+	sub := Subscribe{Env: testEnv, ChainID: "c1"}
+	if got, err := DecodeSubscribe(AppendSubscribe(nil, sub)); err != nil || got != sub {
+		t.Fatalf("subscribe: %+v %v", got, err)
+	}
+	ack := SubscribeAck{Model: "env2vec", Version: 3, In: 6, Window: 20}
+	if got, err := DecodeSubscribeAck(AppendSubscribeAck(nil, ack)); err != nil || got != ack {
+		t.Fatalf("ack: %+v %v", got, err)
+	}
+	a := 50.5
+	w := Window{Seq: 42, RequestID: "r1", CF: []float64{1, 2}, Window: []float64{3, 4}, Actual: &a}
+	got, err := DecodeWindow(AppendWindow(nil, w))
+	if err != nil || !reflect.DeepEqual(got, w) {
+		t.Fatalf("window: %+v %v", got, err)
+	}
+	anom := false
+	dev := 0.25
+	p := Prediction{Seq: 42, Status: 200, Value: 51.25, ModelVersion: 3, Anomalous: &anom, Deviation: &dev}
+	gp, err := DecodePrediction(AppendPrediction(nil, p))
+	if err != nil || !reflect.DeepEqual(gp, p) {
+		t.Fatalf("prediction: %+v %v", gp, err)
+	}
+	pe := Prediction{Seq: 43, Status: 503, Error: "serve: no model loaded"}
+	if gp, err = DecodePrediction(AppendPrediction(nil, pe)); err != nil || gp != pe {
+		t.Fatalf("error prediction: %+v %v", gp, err)
+	}
+	ef := ErrorFrame{Code: 400, Seq: 9, Message: "nope"}
+	if got, err := DecodeError(AppendError(nil, ef)); err != nil || got != ef {
+		t.Fatalf("error frame: %+v %v", got, err)
+	}
+}
+
+// TestClientServerBatch drives batched predicts through a live wire server
+// and checks the answers bit-match the JSON path's Do.
+func TestClientServerBatch(t *testing.T) {
+	s := newTestServe(t, 3)
+	addr := newTestWire(t, s, ServerConfig{})
+	c, err := Dial(addr, ClientConfig{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Features()&FeatureBatch == 0 || c.Features()&FeatureSubscribe == 0 {
+		t.Fatalf("server features = %b, want batch|subscribe", c.Features())
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	reqs := make([]*serve.Request, 8)
+	want := make([]float64, len(reqs))
+	for i := range reqs {
+		reqs[i] = testRequest(rng, "")
+		// Reference answer through the same engine; a fresh copy so request
+		// ids do not collide.
+		cp := *reqs[i]
+		resp, _, err := s.Do(&cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = resp.Prediction
+	}
+	replies, err := c.Predict(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range replies {
+		if rep.Status != 200 {
+			t.Fatalf("reply %d: status %d (%s)", i, rep.Status, rep.Error)
+		}
+		if math.Abs(rep.Prediction-want[i]) > 1e-12 {
+			t.Fatalf("reply %d: prediction %v, want %v", i, rep.Prediction, want[i])
+		}
+		if rep.RequestID == "" {
+			t.Fatalf("reply %d: empty request id", i)
+		}
+		if len(rep.Spans) == 0 || rep.Spans[0].Name != "serve.request" {
+			t.Fatalf("reply %d: missing stage spans: %+v", i, rep.Spans)
+		}
+	}
+
+	// A malformed request inside a batch fails alone.
+	bad := testRequest(rng, "")
+	bad.Window = []float64{1} // wrong arity
+	mixed := []*serve.Request{testRequest(rng, ""), bad}
+	replies, err = c.Predict(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replies[0].Status != 200 {
+		t.Fatalf("good half of batch got %d (%s)", replies[0].Status, replies[0].Error)
+	}
+	if replies[1].Status != http.StatusBadRequest || replies[1].Error == "" {
+		t.Fatalf("bad half of batch got %d (%s), want 400", replies[1].Status, replies[1].Error)
+	}
+}
+
+// TestClientServerStream covers the subscribe lifecycle: ack carries the
+// model shape, pipelined windows answer with correlated seqs, and inline
+// actuals flow through.
+func TestClientServerStream(t *testing.T) {
+	s := newTestServe(t, 5)
+	addr := newTestWire(t, s, ServerConfig{StreamInflight: 8})
+	c, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Subscribe(testEnv, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ack := st.Ack()
+	if ack.Model != "test" || ack.Version != 1 || ack.In != 3 || ack.Window != 2 {
+		t.Fatalf("ack = %+v", ack)
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	const n = 32
+	want := make(map[uint64]float64, n)
+	var recvWG sync.WaitGroup
+	recvWG.Add(1)
+	got := make(map[uint64]Prediction, n)
+	go func() {
+		defer recvWG.Done()
+		for i := 0; i < n; i++ {
+			p, err := st.Recv()
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			got[p.Seq] = p
+		}
+	}()
+	for i := 0; i < n; i++ {
+		cf := make([]float64, ack.In)
+		win := make([]float64, ack.Window)
+		for j := range cf {
+			cf[j] = rng.NormFloat64()
+		}
+		for j := range win {
+			win[j] = 50 + rng.NormFloat64()
+		}
+		req := &serve.Request{
+			CF: append([]float64(nil), cf...), Window: append([]float64(nil), win...),
+			Testbed: testEnv.Testbed, SUT: testEnv.SUT, Testcase: testEnv.Testcase, Build: testEnv.Build,
+		}
+		resp, _, err := s.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := st.NextSeq()
+		want[seq] = resp.Prediction
+		if err := st.Send(Window{Seq: seq, CF: cf, Window: win}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvWG.Wait()
+	if len(got) != n {
+		t.Fatalf("received %d predictions, want %d", len(got), n)
+	}
+	for seq, p := range got {
+		if err := p.Err(); err != nil {
+			t.Fatalf("seq %d: %v", seq, err)
+		}
+		if math.Abs(p.Value-want[seq]) > 1e-12 {
+			t.Fatalf("seq %d: %v, want %v", seq, p.Value, want[seq])
+		}
+	}
+}
+
+// TestProtocolViolations exercises the server's error paths: wrong
+// version, window before subscribe, garbage frames.
+func TestProtocolViolations(t *testing.T) {
+	s := newTestServe(t, 11)
+	addr := newTestWire(t, s, ServerConfig{})
+
+	// Wrong protocol version → FrameError carrying 505.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, FrameHello, AppendHello(nil, Hello{Version: 99})); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(bufio.NewReader(conn), 0)
+	if err != nil || f.Type != FrameError {
+		t.Fatalf("version mismatch answer: %+v %v", f, err)
+	}
+	if ef, err := DecodeError(f.Payload); err != nil || ef.Code != http.StatusHTTPVersionNotSupported {
+		t.Fatalf("version error = %+v %v", ef, err)
+	}
+
+	// Window before Subscribe → FrameError 400.
+	c, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.writeFrame(FrameWindow, AppendWindow(nil, Window{Seq: 1, CF: []float64{1}, Window: []float64{1, 2}})); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := ReadFrame(c.br, 0)
+	if err != nil || rf.Type != FrameError {
+		t.Fatalf("window-before-subscribe answer: %+v %v", rf, err)
+	}
+
+	// Garbage bytes instead of a handshake: the connection just dies —
+	// no panic, no hang.
+	g, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := g.Write(bytes.Repeat([]byte{0xFF}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	_ = g.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1024)
+	for {
+		if _, err := g.Read(buf); err != nil {
+			break // closed (possibly after an error frame) — the point is it terminates
+		}
+	}
+}
