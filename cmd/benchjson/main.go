@@ -6,11 +6,24 @@
 // docs/reproduce.sh uses it to commit machine-readable before/after numbers
 // for the fused inference path (docs/outputs/BENCH_infer.json); any bench
 // output works. Lines that are not benchmark results are ignored.
+//
+// With -compare old.json it additionally diffs the fresh numbers against a
+// committed baseline and exits nonzero when any benchmark present in both
+// regressed by more than -max-regress percent on ns/op, or grew its
+// allocs/op at all. That makes the committed BENCH_*.json files an enforced
+// perf gate, not just a record:
+//
+//	go test -bench ... | benchjson -compare docs/outputs/BENCH_infer.json -max-regress 10 > new.json
+//
+// Benchmarks only present on one side (added or removed ops) are reported
+// but never fail the gate, so adding a benchmark does not require
+// regenerating the baseline in the same commit.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -70,7 +83,7 @@ func parseLine(line string) (Result, bool) {
 	return r, true
 }
 
-func convert(in io.Reader, out io.Writer) error {
+func parse(in io.Reader) ([]Result, error) {
 	results := []Result{}
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
@@ -78,7 +91,12 @@ func convert(in io.Reader, out io.Writer) error {
 			results = append(results, r)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return results, sc.Err()
+}
+
+func convert(in io.Reader, out io.Writer) error {
+	results, err := parse(in)
+	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(out)
@@ -86,9 +104,85 @@ func convert(in io.Reader, out io.Writer) error {
 	return enc.Encode(results)
 }
 
+// compare diffs fresh results against a baseline. It writes one line per
+// shared benchmark to log and returns the ops that regressed: ns/op more
+// than maxRegressPct above baseline, or allocs/op above baseline (when both
+// runs measured allocs). Ops present on only one side are noted but never
+// regressions.
+func compare(baseline, fresh []Result, maxRegressPct float64, log io.Writer) []string {
+	base := make(map[string]Result, len(baseline))
+	for _, r := range baseline {
+		base[r.Op] = r
+	}
+	var regressed []string
+	seen := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		seen[r.Op] = true
+		old, ok := base[r.Op]
+		if !ok {
+			fmt.Fprintf(log, "benchjson: %s: new benchmark (no baseline), %.0f ns/op\n", r.Op, r.NsPerOp)
+			continue
+		}
+		deltaPct := (r.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+		status := "ok"
+		switch {
+		case deltaPct > maxRegressPct:
+			status = fmt.Sprintf("REGRESSION (limit +%.0f%%)", maxRegressPct)
+			regressed = append(regressed, r.Op)
+		case old.AllocsPerOp >= 0 && r.AllocsPerOp > old.AllocsPerOp:
+			status = fmt.Sprintf("REGRESSION (allocs %d -> %d)", old.AllocsPerOp, r.AllocsPerOp)
+			regressed = append(regressed, r.Op)
+		}
+		fmt.Fprintf(log, "benchjson: %s: %.0f -> %.0f ns/op (%+.1f%%) %s\n",
+			r.Op, old.NsPerOp, r.NsPerOp, deltaPct, status)
+	}
+	for _, r := range baseline {
+		if !seen[r.Op] {
+			fmt.Fprintf(log, "benchjson: %s: present in baseline only (benchmark removed?)\n", r.Op)
+		}
+	}
+	return regressed
+}
+
+func loadBaseline(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
+}
+
 func main() {
-	if err := convert(os.Stdin, os.Stdout); err != nil {
+	comparePath := flag.String("compare", "", "baseline BENCH_*.json to diff against; regressions fail the run")
+	maxRegress := flag.Float64("max-regress", 10, "allowed ns/op regression vs -compare baseline, percent")
+	flag.Parse()
+
+	fresh, err := parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fresh); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *comparePath == "" {
+		return
+	}
+	baseline, err := loadBaseline(*comparePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if regressed := compare(baseline, fresh, *maxRegress, os.Stderr); len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed: %s\n",
+			len(regressed), strings.Join(regressed, ", "))
+		os.Exit(2)
 	}
 }

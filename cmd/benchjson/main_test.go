@@ -42,6 +42,99 @@ func TestConvert(t *testing.T) {
 	}
 }
 
+func TestCompare(t *testing.T) {
+	baseline := []Result{
+		{Op: "ForwardInfer_B8W20", NsPerOp: 500000, AllocsPerOp: 1},
+		{Op: "ForwardTape_B8W20", NsPerOp: 4000000, AllocsPerOp: 9000},
+		{Op: "Removed", NsPerOp: 100, AllocsPerOp: 0},
+	}
+	cases := []struct {
+		name      string
+		fresh     []Result
+		maxPct    float64
+		regressed []string
+		wantInLog string
+	}{
+		{
+			name: "improvement passes",
+			fresh: []Result{
+				{Op: "ForwardInfer_B8W20", NsPerOp: 200000, AllocsPerOp: 1},
+				{Op: "ForwardTape_B8W20", NsPerOp: 4100000, AllocsPerOp: 9000},
+			},
+			maxPct:    10,
+			wantInLog: "-60.0%",
+		},
+		{
+			name: "within tolerance passes",
+			fresh: []Result{
+				{Op: "ForwardInfer_B8W20", NsPerOp: 540000, AllocsPerOp: 1},
+			},
+			maxPct: 10,
+		},
+		{
+			name: "ns regression fails",
+			fresh: []Result{
+				{Op: "ForwardInfer_B8W20", NsPerOp: 560000, AllocsPerOp: 1},
+			},
+			maxPct:    10,
+			regressed: []string{"ForwardInfer_B8W20"},
+			wantInLog: "REGRESSION",
+		},
+		{
+			name: "alloc growth fails even when ns is fine",
+			fresh: []Result{
+				{Op: "ForwardInfer_B8W20", NsPerOp: 500000, AllocsPerOp: 3},
+			},
+			maxPct:    10,
+			regressed: []string{"ForwardInfer_B8W20"},
+			wantInLog: "allocs 1 -> 3",
+		},
+		{
+			name: "new benchmark never fails the gate",
+			fresh: []Result{
+				{Op: "ForwardInfer32_B8W20", NsPerOp: 999999999, AllocsPerOp: 50},
+			},
+			maxPct:    10,
+			wantInLog: "no baseline",
+		},
+		{
+			name: "no allocs measured skips the alloc gate",
+			fresh: []Result{
+				{Op: "Removed", NsPerOp: 100, AllocsPerOp: -1},
+			},
+			maxPct: 10,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var log bytes.Buffer
+			got := compare(baseline, tc.fresh, tc.maxPct, &log)
+			if len(got) != len(tc.regressed) {
+				t.Fatalf("regressed %v, want %v\nlog:\n%s", got, tc.regressed, log.String())
+			}
+			for i := range got {
+				if got[i] != tc.regressed[i] {
+					t.Fatalf("regressed %v, want %v", got, tc.regressed)
+				}
+			}
+			if tc.wantInLog != "" && !strings.Contains(log.String(), tc.wantInLog) {
+				t.Fatalf("log missing %q:\n%s", tc.wantInLog, log.String())
+			}
+		})
+	}
+}
+
+func TestCompareReportsRemoved(t *testing.T) {
+	var log bytes.Buffer
+	got := compare([]Result{{Op: "Gone", NsPerOp: 10}}, nil, 10, &log)
+	if len(got) != 0 {
+		t.Fatalf("removed benchmark must not regress the gate: %v", got)
+	}
+	if !strings.Contains(log.String(), "baseline only") {
+		t.Fatalf("log missing removed-benchmark note:\n%s", log.String())
+	}
+}
+
 func TestConvertEmptyInput(t *testing.T) {
 	var out bytes.Buffer
 	if err := convert(strings.NewReader("no benchmarks here\n"), &out); err != nil {

@@ -80,6 +80,7 @@ func run(args []string) error {
 	registryDir := fs.String("registry-dir", "", "local durable registry mirror: replayed for a warm start, then kept converged with -registry")
 	name := fs.String("name", "env2vec", "model name in the registry")
 	model := fs.String("model", "", "local snapshot file (alternative to -registry)")
+	precisionFlag := fs.String("precision", "float64", "serving forward-pass precision: float64 (tape-exact) or float32 (~2x faster, 1e-4 relative; see docs/performance.md)")
 	poll := fs.Duration("poll", 10*time.Second, "registry poll interval (long-poll fallback pacing)")
 	longPoll := fs.Duration("long-poll", 30*time.Second, "park registry polls server-side this long (?wait=), so new versions land in O(RTT); 0 = plain polling")
 	maxBatch := fs.Int("max-batch", 32, "max requests per forward pass")
@@ -106,11 +107,28 @@ func run(args []string) error {
 	if *model == "" && *registry == "" && *registryDir == "" {
 		return errors.New("one of -model, -registry, or -registry-dir is required")
 	}
+	precision, err := serve.ParsePrecision(*precisionFlag)
+	if err != nil {
+		return err
+	}
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
 		return err
 	}
 	logger := obs.NewLogger(os.Stderr, level, "e2vserve")
+
+	// Every bundle — initial load, mirror replay, watcher update — gets the
+	// chosen precision applied before it is swapped into the server.
+	newBundle := func(ver int, snap *nn.Snapshot) (*serve.Bundle, error) {
+		b, err := serve.BundleFromSnapshot(*name, ver, snap)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.SetPrecision(precision); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
 
 	reg := obs.NewRegistry()
 	cfg := serve.Config{
@@ -147,12 +165,12 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		b, err := serve.BundleFromSnapshot(*name, 0, snap)
+		b, err := newBundle(0, snap)
 		if err != nil {
 			return fmt.Errorf("%s: %w (was it written by `env2vec train`?)", *model, err)
 		}
 		srv.SetBundle(b)
-		logger.Info("serving local snapshot", "model", *name, "file", *model)
+		logger.Info("serving local snapshot", "model", *name, "file", *model, "precision", string(precision))
 	} else if *registryDir != "" {
 		// Durable mirror mode: replay the local registry for a warm start
 		// (serving resumes even if the primary is down), then follow the
@@ -177,7 +195,7 @@ func run(args []string) error {
 				replicaLog.Error("mirrored version undecodable", "model", *name, "version", v.Number, "err", err)
 				return
 			}
-			b, err := serve.BundleFromSnapshot(*name, v.Number, snap)
+			b, err := newBundle(v.Number, snap)
 			if err != nil {
 				replicaLog.Error("rejecting mirrored version", "model", *name, "version", v.Number, "err", err)
 				return
@@ -216,7 +234,7 @@ func run(args []string) error {
 			Interval: *poll,
 			LongPoll: *longPoll,
 			OnUpdate: func(snap *nn.Snapshot, ver int) {
-				b, err := serve.BundleFromSnapshot(*name, ver, snap)
+				b, err := newBundle(ver, snap)
 				if err != nil {
 					watcherLog.Error("rejecting published version", "model", *name, "version", ver, "err", err)
 					return

@@ -53,13 +53,22 @@ go test -race -run 'TestProxyTrace|TestProxyFailoverTraceSpans|TestProxyShedTrac
 go test -race -run 'TestScrapeProxyMergedExposition' ./internal/tsdb/
 # Registry long-poll: parked /versions and /latest pollers wake on publish.
 go test -race -run 'LongPoll' ./internal/modelserver/
-# The fused inference path: race-prove the scratch-arena pool and the
-# tape/infer parity property, then commit machine-readable before/after
-# numbers (ns/op and allocs/op, fused vs tape) — see docs/performance.md.
+# The fused inference path: race-prove the scratch-arena pool, the
+# tape/infer parity property, and the cross-precision battery (tape vs
+# blocked float64 vs float32 — docs/performance.md documents the per-path
+# tolerances), then fuzz the parity contract briefly.
 go test -race ./internal/infer/ ./internal/core/
+go test -run FuzzPredictParity -fuzz FuzzPredictParity -fuzztime 10s ./internal/core/
+# Commit machine-readable inference numbers (ns/op and allocs/op; fused vs
+# tape vs float32) AND gate them against the committed baseline: benchjson
+# -compare exits nonzero if any shared benchmark is >10% slower than
+# docs/outputs/BENCH_infer.json or grew its allocs/op, so a perf regression
+# fails reproduce.sh before the baseline is overwritten.
 go test -run '^$' -bench 'Forward(Tape|Infer)' -benchmem -count 1 ./internal/infer/ \
     | tee docs/outputs/bench_infer.txt \
-    | go run ./cmd/benchjson > docs/outputs/BENCH_infer.json
+    | go run ./cmd/benchjson -compare docs/outputs/BENCH_infer.json -max-regress 10 \
+    > docs/outputs/BENCH_infer.json.new
+mv docs/outputs/BENCH_infer.json.new docs/outputs/BENCH_infer.json
 # The monitoring plane (docs/observability.md "Monitoring plane"): query
 # engine fixtures (counter-reset rate, histogram_quantile vs synthetic
 # buckets), the rules engine's pending->firing state machine and hot

@@ -268,6 +268,17 @@ func (m *Model) PredictInto(out []float64, b *nn.Batch) {
 	m.pred.PredictInto(out, b)
 }
 
+// NewPredictor32 exports the model's current weights into a frozen float32
+// predictor (see infer.Predictor32). The snapshot is taken once, at call
+// time: later training steps or restores on this model are not reflected,
+// so serving rebuilds it per published model version — which is exactly the
+// immutable-bundle contract internal/serve already enforces. The returned
+// predictor keeps the Predict/PredictInto float64 API; only the internal
+// arithmetic and weight storage narrow to float32.
+func (m *Model) NewPredictor32() *infer.Predictor32 {
+	return infer.NewPredictor32(m.network())
+}
+
 // PredictTape is the original inference-tape forward pass, retained as the
 // slow-but-obviously-correct reference for Predict: it reuses the exact
 // graph construction training uses (minus recording), so parity tests can

@@ -1,0 +1,75 @@
+package infer
+
+import "env2vec/internal/tensor"
+
+// arena32 is the float32 twin of arena: a chunked bump allocator over
+// []float32 backing storage plus recycled Matrix32 headers. The float32
+// predictor additionally carves its converted input copies (X and the RU
+// window arrive as float64) from here, so steady-state float32 prediction
+// keeps the same 1-alloc/0-alloc profile as the float64 path.
+//
+// Arenas are NOT safe for concurrent use; the Predictor32 hands each
+// forward pass a private one from a sync.Pool.
+type arena32 struct {
+	chunks [][]float32
+	chunk  int
+	off    int
+
+	mats []*tensor.Matrix32
+	used int
+
+	states []*tensor.Matrix32
+}
+
+// reset rewinds the arena; previously carved views become dead.
+func (a *arena32) reset() {
+	a.chunk, a.off, a.used = 0, 0, 0
+	a.states = a.states[:0]
+}
+
+func (a *arena32) header() *tensor.Matrix32 {
+	if a.used < len(a.mats) {
+		m := a.mats[a.used]
+		a.used++
+		return m
+	}
+	m := &tensor.Matrix32{}
+	a.mats = append(a.mats, m)
+	a.used++
+	return m
+}
+
+// mat carves an uninitialized rows×cols matrix view. Callers must fully
+// overwrite it (or Zero it) before reading.
+func (a *arena32) mat(rows, cols int) *tensor.Matrix32 {
+	need := rows * cols
+	for {
+		if a.chunk < len(a.chunks) {
+			c := a.chunks[a.chunk]
+			if a.off+need <= len(c) {
+				m := a.header()
+				m.Rows, m.Cols, m.Data = rows, cols, c[a.off:a.off+need:a.off+need]
+				a.off += need
+				return m
+			}
+			a.chunk++
+			a.off = 0
+			continue
+		}
+		size := need
+		if size < arenaChunk {
+			size = arenaChunk
+		}
+		a.chunks = append(a.chunks, make([]float32, size))
+	}
+}
+
+// from64 carves a matrix and fills it with the float32 rounding of src —
+// the per-call input conversion of the float32 serving path.
+func (a *arena32) from64(src *tensor.Matrix) *tensor.Matrix32 {
+	m := a.mat(src.Rows, src.Cols)
+	for i, v := range src.Data {
+		m.Data[i] = float32(v)
+	}
+	return m
+}

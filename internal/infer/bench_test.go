@@ -73,6 +73,30 @@ func TestInferAllocations(t *testing.T) {
 	}
 }
 
+// TestInfer32Allocations holds the float32 path to the float64 path's
+// allocation guarantees: Predict allocates exactly the returned slice (1
+// alloc steady-state, with slack for GC stealing pooled arenas) and
+// PredictInto allocates nothing. The input conversion to float32 must come
+// from the arena, not the heap.
+func TestInfer32Allocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; gate runs in the non-race pass")
+	}
+	m, schema := benchModel(20)
+	p32 := m.NewPredictor32()
+	rng := rand.New(rand.NewSource(2))
+	b := benchBatch(rng, schema, 8, 8, 20)
+	out := make([]float64, 8)
+	p32.PredictInto(out, b) // warm the arena pool
+
+	if a := testing.AllocsPerRun(100, func() { p32.Predict(b) }); a > 1.5 {
+		t.Fatalf("float32 Predict allocates %.1f/op; want ≤1 (the result slice)", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { p32.PredictInto(out, b) }); a > 0.5 {
+		t.Fatalf("float32 PredictInto allocates %.1f/op; want 0", a)
+	}
+}
+
 func benchForward(b *testing.B, batch int, window int, predict func(m *core.Model, bt *nn.Batch) []float64) {
 	m, schema := benchModel(window)
 	rng := rand.New(rand.NewSource(2))
@@ -99,6 +123,31 @@ func BenchmarkForwardTape_B32W20(b *testing.B) {
 
 func BenchmarkForwardInfer_B32W20(b *testing.B) {
 	benchForward(b, 32, 20, (*core.Model).Predict)
+}
+
+func benchForward32(b *testing.B, batch, window int) {
+	m, schema := benchModel(window)
+	p32 := m.NewPredictor32()
+	rng := rand.New(rand.NewSource(2))
+	bt := benchBatch(rng, schema, batch, 8, window)
+	p32.Predict(bt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p32.Predict(bt)
+	}
+}
+
+// BenchmarkForwardInfer32 is the float32 serving path: frozen converted
+// weights, AVX2+FMA tiles on amd64. The committed BENCH_infer.json numbers
+// for these are the ones the ≥2×-vs-float64 claim in docs/performance.md
+// rests on.
+func BenchmarkForwardInfer32_B8W20(b *testing.B) {
+	benchForward32(b, 8, 20)
+}
+
+func BenchmarkForwardInfer32_B32W20(b *testing.B) {
+	benchForward32(b, 32, 20)
 }
 
 // BenchmarkForwardInferParallel measures the serving steady state: many

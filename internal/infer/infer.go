@@ -71,6 +71,14 @@ type Predictor struct {
 
 // NewPredictor validates the network wiring and returns a ready predictor.
 func NewPredictor(net Network) *Predictor {
+	validateNetwork(net)
+	p := &Predictor{net: net}
+	p.pool.New = func() any { return &arena{} }
+	return p
+}
+
+// validateNetwork checks the wiring shared by both precision paths.
+func validateNetwork(net Network) {
 	if net.FNNHidden == nil || net.GRU == nil || net.Dense == nil {
 		panic("infer: network is missing a layer")
 	}
@@ -93,9 +101,6 @@ func NewPredictor(net Network) *Predictor {
 	default:
 		panic(fmt.Sprintf("infer: unknown prediction head %d", int(net.Head)))
 	}
-	p := &Predictor{net: net}
-	p.pool.New = func() any { return &arena{} }
-	return p
 }
 
 // Predict returns one prediction per batch row.
@@ -143,7 +148,7 @@ func (p *Predictor) PredictInto(out []float64, b *nn.Batch) {
 	switch p.net.Head {
 	case HeadBilinear:
 		vr := a.mat(n, p.net.Bilinear.Cols)
-		tensor.MatMulInto(vr, vd, p.net.Bilinear)
+		tensor.MatMulBlockedInto(vr, vd, p.net.Bilinear)
 		rowDots(out, vr, c)
 	case HeadMLP:
 		x := concatCols(a, vd, c)
@@ -176,11 +181,12 @@ func (p *Predictor) gruWindow(a *arena, w *tensor.Matrix, all bool) (*tensor.Mat
 	}
 	xall := a.view(n*T, 1, w.Data)
 	pre := a.mat(n*T, 3*H)
-	tensor.MatMulInto(pre, xall, fw)
+	tensor.MatMulBlockedInto(pre, xall, fw)
 
 	h := a.mat(n, H)
 	h.Zero()
-	ru := a.mat(n, H) // recurrent matmul scratch, one gate at a time
+	ru := a.mat(n, H)    // candidate recurrent matmul scratch
+	ru2 := a.mat(n, 2*H) // fused z|r recurrent matmul scratch
 	z := a.mat(n, H)
 	r := a.mat(n, H)
 	rh := a.mat(n, H)
@@ -188,15 +194,14 @@ func (p *Predictor) gruWindow(a *arena, w *tensor.Matrix, all bool) (*tensor.Mat
 	bz, br, bh := g.Bz.Value.Data, g.Br.Value.Data, g.Bh.Value.Data
 
 	for t := 0; t < T; t++ {
-		// z = σ(x·Wz + h·Uz + bz)
-		tensor.MatMulInto(ru, h, g.Uz.Value)
-		gateRows(z, pre, ru, bz, t, T, 0, H, true)
-		// r = σ(x·Wr + h·Ur + br)
-		tensor.MatMulInto(ru, h, g.Ur.Value)
-		gateRows(r, pre, ru, br, t, T, H, H, true)
+		// z = σ(x·Wz + h·Uz + bz) and r = σ(x·Wr + h·Ur + br): both gates
+		// multiply the same h, so one fused kernel computes h·[Uz|Ur] and
+		// one pass applies biases and sigmoids to both.
+		tensor.MatMulPairInto(ru2, h, g.Uz.Value, g.Ur.Value)
+		gateRows2(z, r, pre, ru2, bz, br, t, T, H)
 		// h' = act(x·Wh + (r ⊙ h)·Uh + bh)
 		tensor.MulInto(rh, r, h)
-		tensor.MatMulInto(ru, rh, g.Uh.Value)
+		tensor.MatMulBlockedInto(ru, rh, g.Uh.Value)
 		gateRows(hc, pre, ru, bh, t, T, 2*H, H, false)
 		applyAct(hc, g.CandidateAct)
 		// h = (1−z) ⊙ h' + z ⊙ h, elementwise so updating in place is safe.
@@ -232,6 +237,25 @@ func gateRows(dst, pre, ru *tensor.Matrix, bias []float64, t, T, off, width int,
 	}
 }
 
+// gateRows2 applies both update-gate and reset-gate rows in one pass over
+// the fused recurrent product: ru2's left H columns hold h·Uz, its right H
+// columns h·Ur (see tensor.MatMulPairInto). Per element the association is
+// identical to two gateRows calls: (input + recurrent) + bias, then σ.
+func gateRows2(z, r, pre, ru2 *tensor.Matrix, bz, br []float64, t, T, H int) {
+	stride := pre.Cols
+	for i := 0; i < z.Rows; i++ {
+		prow := pre.Data[(i*T+t)*stride : (i*T+t)*stride+2*H]
+		rrow := ru2.Row(i)
+		zrow, rr := z.Row(i), r.Row(i)
+		for j := 0; j < H; j++ {
+			zrow[j] = sigmoid(prow[j] + rrow[j] + bz[j])
+		}
+		for j := 0; j < H; j++ {
+			rr[j] = sigmoid(prow[H+j] + rrow[H+j] + br[j])
+		}
+	}
+}
+
 // attentionMix replicates nn.Attention.Forward: additive scores, an exp/sum
 // softmax accumulated in step order, and the weighted state mixture.
 func attentionMix(a *arena, at *nn.Attention, states []*tensor.Matrix) *tensor.Matrix {
@@ -244,7 +268,7 @@ func attentionMix(a *arena, at *nn.Attention, states []*tensor.Matrix) *tensor.M
 	total := a.mat(n, 1)
 	total.Zero()
 	for t, ht := range states {
-		tensor.MatMulInto(st, ht, at.W.Value)
+		tensor.MatMulBlockedInto(st, ht, at.W.Value)
 		for i := 0; i < n; i++ {
 			row := st.Row(i)
 			s := 0.0
@@ -297,7 +321,7 @@ func (p *Predictor) gatherEmbeddings(a *arena, envIDs [][]int, n int) *tensor.Ma
 // one pass over the output.
 func denseForward(a *arena, d *nn.Dense, x *tensor.Matrix) *tensor.Matrix {
 	out := a.mat(x.Rows, d.W.Value.Cols)
-	tensor.MatMulInto(out, x, d.W.Value)
+	tensor.MatMulBlockedInto(out, x, d.W.Value)
 	bias := d.B.Value.Data
 	for i := 0; i < out.Rows; i++ {
 		row := out.Row(i)

@@ -1,0 +1,5 @@
+//go:build race
+
+package infer_test
+
+const raceEnabled = true

@@ -42,6 +42,12 @@ func (p *Param) Bind(t *autodiff.Tape) *autodiff.Node {
 	return n
 }
 
+// Value32 exports a float32 snapshot of the parameter's current value —
+// the load-time weight conversion of the float32 serving path. The copy is
+// independent: later optimizer steps or restores do not touch it, which is
+// what lets a frozen float32 predictor run concurrently with training.
+func (p *Param) Value32() *tensor.Matrix32 { return p.Value.To32() }
+
 // Grad returns the gradient from the most recent bound backward pass, or
 // nil if the parameter was never bound.
 func (p *Param) Grad() *tensor.Matrix {

@@ -301,6 +301,15 @@ func New(cfg Config) *Server {
 		}
 		return 0
 	})
+	reg.GaugeFunc("env2vec_infer_precision", "Bits of the serving forward pass: 64 (float64) or 32 (float32); 0 = no bundle.", nil, func() float64 {
+		if b := s.bundle.Load(); b != nil {
+			if b.ActivePrecision() == PrecisionFloat32 {
+				return 32
+			}
+			return 64
+		}
+		return 0
+	})
 	if cfg.Quality != nil {
 		if cfg.AlarmSink != nil {
 			ac := cfg.AlarmAsync

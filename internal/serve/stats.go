@@ -21,8 +21,11 @@ type Stats struct {
 	// ModelIn and ModelWindow are the loaded model's input arity (contextual
 	// features) and RU-history window, so load generators can shape valid
 	// requests from /statz alone.
-	ModelIn       int     `json:"model_in"`
-	ModelWindow   int     `json:"model_window"`
+	ModelIn     int `json:"model_in"`
+	ModelWindow int `json:"model_window"`
+	// Precision is the numeric path the active bundle serves on ("float64"
+	// or "float32"); empty until a bundle is loaded.
+	Precision     string  `json:"precision,omitempty"`
 	Workers       int     `json:"workers"`
 	MaxBatch      int     `json:"max_batch"`
 	MaxLingerMS   float64 `json:"max_linger_ms"`
@@ -70,6 +73,7 @@ func (s *Server) Stats() Stats {
 	}
 	if b := s.bundle.Load(); b != nil {
 		st.Model, st.ModelVersion = b.Name, b.Version
+		st.Precision = string(b.ActivePrecision())
 		cfg := b.Model.Config()
 		st.ModelIn, st.ModelWindow = cfg.In, cfg.Window
 	}

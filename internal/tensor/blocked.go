@@ -1,0 +1,176 @@
+// Register-blocked GEMM kernels, unrolled to the SIMD register width.
+//
+// The naive MatMul/MatMulInto kernels stream one output row at a time with a
+// read-modify-write of the output slice on every multiply-add — one load, one
+// FMA-able op, one store per element, so the CPU's superscalar units sit
+// mostly idle. The blocked kernels here process a 2×4 output tile per
+// micro-kernel iteration: 8 independent accumulators live in registers for
+// the whole k-loop, every loaded b value is reused twice and every a value
+// four times, and the store traffic drops from k·8 to 8 per tile. Four lanes
+// is the float64 SIMD register width (one AVX2 register, two NEON registers);
+// two rows is as tall as the tile can grow before the accumulators plus the
+// four live b values exceed the 16 vector registers the compiler schedules
+// into — a 4×4 tile measurably loses to 2×4 from spilling. The b-row offset
+// is strength-reduced (off += n) so the inner loop carries no multiply.
+//
+// Numerics: for each output element the k-accumulation order is IDENTICAL to
+// the naive kernel (k ascending), so the blocked kernels are bit-compatible
+// with MatMulInto for finite inputs — blocking reorders which elements are
+// computed together, never the order of additions within one element. The
+// parity tests in internal/core lean on this: routing the fused inference
+// path through the blocked kernels kept its ≤1e-12 tape tolerance intact.
+//
+// Tails: row and column counts that are not multiples of the block width
+// fall through to 1×4 and scalar edge kernels, so ragged shapes (prime
+// dimensions, 1×1) are first-class — see blocked_test.go.
+//
+// The float32 twins of these kernels live in f32.go; on amd64 with AVX2+FMA
+// they dispatch to real 8-lane vector tiles (f32gemm_amd64.s).
+package tensor
+
+import "fmt"
+
+// BlockLanes is the micro-kernel tile width: 4 float64 lanes (one AVX2
+// register). Exported so tests can probe non-multiple "tail" shapes.
+const BlockLanes = 4
+
+// MatMulBlocked returns a × b using the register-blocked kernel.
+func MatMulBlocked(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MatMulBlockedInto(out, a, b)
+	return out
+}
+
+// MatMulBlockedInto computes a × b into out with the register-blocked
+// kernel. The contract matches MatMulInto exactly: out must be preallocated
+// a.Rows×b.Cols and must not alias either operand (every element of out is
+// fully overwritten, so stale contents never leak through — including the
+// k=0 case, which zero-fills).
+func MatMulBlockedInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulBlockedInto shape %dx%d × %dx%d into %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	if overlap(out.Data, a.Data) || overlap(out.Data, b.Data) {
+		panic("tensor: MatMulBlockedInto out aliases an operand")
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if k == 0 {
+		out.Zero()
+		return
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	matMulBlocked(out.Data, a.Data, b.Data, m, k, n, n, 0)
+}
+
+// MatMulPairInto is the fused recurrent-gate kernel: it computes a·b1 and
+// a·b2 in one call, writing the two products side by side into out
+// (a.Rows × (b1.Cols+b2.Cols), b1's product in the left columns). Per GRU
+// step the z and r gates both multiply the same hidden state h by their
+// recurrent weights, so serving fuses the two matmuls into one sweep with a
+// single packed output that the gate loop then consumes in one pass.
+// Numerics per element are identical to two separate MatMulBlockedInto
+// calls. The same contract applies: out is fully overwritten and must not
+// alias any operand.
+func MatMulPairInto(out, a, b1, b2 *Matrix) {
+	if a.Cols != b1.Rows || a.Cols != b2.Rows || out.Rows != a.Rows || out.Cols != b1.Cols+b2.Cols {
+		panic(fmt.Sprintf("tensor: MatMulPairInto shape %dx%d × [%dx%d | %dx%d] into %dx%d",
+			a.Rows, a.Cols, b1.Rows, b1.Cols, b2.Rows, b2.Cols, out.Rows, out.Cols))
+	}
+	if overlap(out.Data, a.Data) || overlap(out.Data, b1.Data) || overlap(out.Data, b2.Data) {
+		panic("tensor: MatMulPairInto out aliases an operand")
+	}
+	m, k := a.Rows, a.Cols
+	stride := out.Cols
+	if k == 0 {
+		out.Zero()
+		return
+	}
+	if m == 0 || stride == 0 {
+		return
+	}
+	if b1.Cols > 0 {
+		matMulBlocked(out.Data, a.Data, b1.Data, m, k, b1.Cols, stride, 0)
+	}
+	if b2.Cols > 0 {
+		matMulBlocked(out.Data, a.Data, b2.Data, m, k, b2.Cols, stride, b1.Cols)
+	}
+}
+
+// matMulBlocked is the strided kernel body shared by the public entry
+// points; all shape/aliasing validation happens before it. It writes the
+// m×n product into out columns [ooff, ooff+n) with row stride ostride,
+// which is how MatMulPairInto packs two products into one matrix.
+func matMulBlocked(out, a, b []float64, m, k, n, ostride, ooff int) {
+	i := 0
+	for ; i+2 <= m; i += 2 {
+		a0 := a[(i+0)*k : (i+0)*k+k]
+		a1 := a[(i+1)*k : (i+1)*k+k]
+		o0 := out[(i+0)*ostride+ooff : (i+0)*ostride+ooff+n]
+		o1 := out[(i+1)*ostride+ooff : (i+1)*ostride+ooff+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			var c00, c01, c02, c03 float64
+			var c10, c11, c12, c13 float64
+			off := j
+			for p := 0; p < k; p++ {
+				bp := b[off : off+4 : off+4]
+				b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+				av := a0[p]
+				c00 += av * b0
+				c01 += av * b1
+				c02 += av * b2
+				c03 += av * b3
+				av = a1[p]
+				c10 += av * b0
+				c11 += av * b1
+				c12 += av * b2
+				c13 += av * b3
+				off += n
+			}
+			o0[j], o0[j+1], o0[j+2], o0[j+3] = c00, c01, c02, c03
+			o1[j], o1[j+1], o1[j+2], o1[j+3] = c10, c11, c12, c13
+		}
+		for ; j < n; j++ { // column tail: 2 rows × 1 lane
+			var c0, c1 float64
+			off := j
+			for p := 0; p < k; p++ {
+				bv := b[off]
+				c0 += a0[p] * bv
+				c1 += a1[p] * bv
+				off += n
+			}
+			o0[j], o1[j] = c0, c1
+		}
+	}
+	for ; i < m; i++ { // row tail: 1 row, 4 lanes then scalar
+		ar := a[i*k : i*k+k]
+		or := out[i*ostride+ooff : i*ostride+ooff+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			var c0, c1, c2, c3 float64
+			off := j
+			for p := 0; p < k; p++ {
+				bp := b[off : off+4 : off+4]
+				av := ar[p]
+				c0 += av * bp[0]
+				c1 += av * bp[1]
+				c2 += av * bp[2]
+				c3 += av * bp[3]
+				off += n
+			}
+			or[j], or[j+1], or[j+2], or[j+3] = c0, c1, c2, c3
+		}
+		for ; j < n; j++ {
+			var c float64
+			off := j
+			for p := 0; p < k; p++ {
+				c += ar[p] * b[off]
+				off += n
+			}
+			or[j] = c
+		}
+	}
+}

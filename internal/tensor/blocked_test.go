@@ -1,0 +1,273 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randMat fills a rows×cols matrix with non-trivial values (including exact
+// zeros, so the naive kernel's zero-skip path participates in the parity).
+func randMat(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		switch rng.Intn(10) {
+		case 0:
+			m.Data[i] = 0
+		default:
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// TestBlockedMatchesNaive drives the blocked kernel across ragged shapes —
+// 1×1, primes, dimensions straddling every tail path — and demands
+// bit-identical agreement with the naive reference. The two kernels share
+// per-element accumulation order, so any difference at all is a bug, not
+// round-off.
+func TestBlockedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := [][3]int{
+		{1, 1, 1},
+		{1, 4, 1}, {4, 1, 4}, {4, 4, 4}, {8, 8, 8},
+		{2, 3, 5}, {3, 7, 11}, {5, 13, 3}, {7, 5, 17}, // primes: all tails
+		{4, 4, 5}, {4, 4, 7}, {5, 4, 4}, {6, 4, 4}, // one ragged dim
+		{9, 6, 10}, {13, 31, 29}, {1, 64, 33},
+		{32, 32, 32}, {8, 32, 96}, // the inference hot shapes
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		t.Run(fmt.Sprintf("%dx%dx%d", m, k, n), func(t *testing.T) {
+			a, b := randMat(rng, m, k), randMat(rng, k, n)
+			want := MatMul(a, b)
+			got := New(m, n)
+			got.Fill(math.NaN()) // any element the kernel misses survives as NaN
+			MatMulBlockedInto(got, a, b)
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("element %d: blocked %v vs naive %v", i, got.Data[i], want.Data[i])
+				}
+			}
+			if conv := MatMulBlocked(a, b); !Equal(conv, want, 0) {
+				t.Fatalf("MatMulBlocked convenience form diverges")
+			}
+		})
+	}
+}
+
+// TestBlocked32MatchesFloat64 pins the float32 kernel's error bound: against
+// the float64 reference on the same (float32-rounded) inputs, every element
+// stays within a few k·eps32 — the tolerance rationale documented in
+// docs/performance.md.
+func TestBlocked32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, s := range [][3]int{{1, 1, 1}, {3, 7, 11}, {8, 32, 96}, {5, 13, 3}, {33, 31, 5}} {
+		m, k, n := s[0], s[1], s[2]
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		a32, b32 := a.To32(), b.To32()
+		want := MatMul(a.Round32(), b.Round32())
+		got := New32(m, n)
+		MatMulBlockedInto32(got, a32, b32)
+		tol := float64(k+4) * 1.2e-7
+		for i := range want.Data {
+			scale := math.Max(1, math.Abs(want.Data[i]))
+			if diff := math.Abs(float64(got.Data[i]) - want.Data[i]); diff > tol*scale {
+				t.Fatalf("%dx%dx%d element %d: f32 %v vs f64 %v (diff %g, tol %g)",
+					m, k, n, i, got.Data[i], want.Data[i], diff, tol*scale)
+			}
+		}
+	}
+}
+
+// TestPairMatchesSeparate pins the fused recurrent-gate kernel: packing
+// a·b1 and a·b2 side by side must be bit-identical to two separate blocked
+// products, including ragged widths on either half and b1/b2 widths of 0.
+func TestPairMatchesSeparate(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	cases := [][3]int{ // {k, n1, n2}
+		{32, 32, 32}, // the GRU [Uz|Ur] shape
+		{7, 5, 3}, {1, 1, 1}, {13, 4, 9}, {6, 0, 8}, {6, 8, 0},
+	}
+	for _, c := range cases {
+		k, n1, n2 := c[0], c[1], c[2]
+		for _, m := range []int{1, 2, 5, 8} {
+			a := randMat(rng, m, k)
+			b1, b2 := randMat(rng, k, n1), randMat(rng, k, n2)
+			got := New(m, n1+n2)
+			got.Fill(math.NaN())
+			MatMulPairInto(got, a, b1, b2)
+			w1, w2 := MatMul(a, b1), MatMul(a, b2)
+			for i := 0; i < m; i++ {
+				row := got.Row(i)
+				for j := 0; j < n1; j++ {
+					if row[j] != w1.At(i, j) {
+						t.Fatalf("m=%d k=%d n1=%d n2=%d: left half (%d,%d) = %v, want %v", m, k, n1, n2, i, j, row[j], w1.At(i, j))
+					}
+				}
+				for j := 0; j < n2; j++ {
+					if row[n1+j] != w2.At(i, j) {
+						t.Fatalf("m=%d k=%d n1=%d n2=%d: right half (%d,%d) = %v, want %v", m, k, n1, n2, i, j, row[n1+j], w2.At(i, j))
+					}
+				}
+			}
+			// float32 twin, against the strided scalar reference.
+			got32 := New32(m, n1+n2)
+			MatMulPairInto32(got32, a.To32(), b1.To32(), b2.To32())
+			want32 := New32(m, n1+n2)
+			if n1 > 0 {
+				matMulScalar32(want32.Data, a.To32().Data, b1.To32().Data, m, k, n1, n1+n2, 0)
+			}
+			if n2 > 0 {
+				matMulScalar32(want32.Data, a.To32().Data, b2.To32().Data, m, k, n2, n1+n2, n1)
+			}
+			tol := float64(k+4) * 1.2e-7
+			for i := range want32.Data {
+				scale := math.Max(1, math.Abs(float64(want32.Data[i])))
+				if d := math.Abs(float64(got32.Data[i] - want32.Data[i])); d > tol*scale {
+					t.Fatalf("m=%d k=%d n1=%d n2=%d: f32 pair element %d diff %g", m, k, n1, n2, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockedZeroK pins the k=0 guard: the inner dimension collapses to
+// nothing, so the kernel must zero-fill out rather than leave stale scratch.
+func TestBlockedZeroK(t *testing.T) {
+	a, b := New(3, 0), New(0, 5)
+	out := New(3, 5)
+	out.Fill(7)
+	MatMulBlockedInto(out, a, b)
+	for i, v := range out.Data {
+		if v != 0 {
+			t.Fatalf("k=0 element %d = %v, want 0", i, v)
+		}
+	}
+	out32 := New32(3, 5)
+	for i := range out32.Data {
+		out32.Data[i] = 7
+	}
+	MatMulBlockedInto32(out32, &Matrix32{Rows: 3, Cols: 0}, &Matrix32{Rows: 0, Cols: 5})
+	for i, v := range out32.Data {
+		if v != 0 {
+			t.Fatalf("f32 k=0 element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+// TestF32VectorMatchesScalar cross-checks the AVX2+FMA tile driver against
+// the portable scalar kernel on shapes that exercise every tile boundary:
+// full 4×16 tiles, 1×16 row tails, sub-16 column tails, and single-row
+// products. The two paths share per-element accumulation order but the
+// vector tiles fuse each multiply-add, so agreement is to float32 round-off
+// rather than bitwise.
+func TestF32VectorMatchesScalar(t *testing.T) {
+	if !f32UseAsm {
+		t.Skip("no AVX2+FMA vector tiles on this CPU")
+	}
+	rng := rand.New(rand.NewSource(45))
+	shapes := [][3]int{
+		{4, 32, 16}, {8, 32, 64}, {8, 32, 32}, {160, 1, 96}, // serving hot shapes
+		{1, 32, 64}, {2, 5, 16}, {5, 7, 19}, {6, 9, 33}, {3, 1, 17}, {7, 13, 15},
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		a32, b32 := a.To32(), b.To32()
+		asm, sc := New32(m, n), New32(m, n)
+		matMulAsm32(asm.Data, a32.Data, b32.Data, m, k, n, n, 0)
+		matMulScalar32(sc.Data, a32.Data, b32.Data, m, k, n, n, 0)
+		tol := float64(k+4) * 2.4e-7
+		for i := range asm.Data {
+			scale := math.Max(1, math.Abs(float64(sc.Data[i])))
+			if d := math.Abs(float64(asm.Data[i] - sc.Data[i])); d > tol*scale {
+				t.Fatalf("%dx%dx%d element %d: vector %v vs scalar %v", m, k, n, i, asm.Data[i], sc.Data[i])
+			}
+		}
+	}
+}
+
+// TestBlockedShapePanics mirrors the naive kernel's misuse contract.
+func TestBlockedShapePanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("inner mismatch", func() { MatMulBlockedInto(New(2, 3), New(2, 4), New(5, 3)) })
+	expectPanic("out shape", func() { MatMulBlockedInto(New(3, 3), New(2, 4), New(4, 3)) })
+	expectPanic("inner mismatch f32", func() { MatMulBlockedInto32(New32(2, 3), New32(2, 4), New32(5, 3)) })
+	expectPanic("out shape f32", func() { MatMulBlockedInto32(New32(3, 3), New32(2, 4), New32(4, 3)) })
+}
+
+// TestBlockedAliasPanics extends the MatMulInto aliasing-corruption guard to
+// the blocked and float32 entry points: out sharing storage with an operand
+// must fail loudly, including partial overlaps carved from one backing array.
+func TestBlockedAliasPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected aliasing panic", name)
+			}
+		}()
+		f()
+	}
+	sq := New(4, 4)
+	expectPanic("out==a", func() { MatMulBlockedInto(sq, sq, New(4, 4)) })
+	expectPanic("out==b", func() { MatMulBlockedInto(sq, New(4, 4), sq) })
+	backing := make([]float64, 32)
+	expectPanic("partial overlap", func() {
+		out := FromSlice(4, 4, backing[8:24])
+		a := FromSlice(4, 4, backing[:16])
+		MatMulBlockedInto(out, a, New(4, 4))
+	})
+	sq8 := New(4, 8)
+	expectPanic("pair out==b2", func() { MatMulPairInto(sq8, New(4, 4), New(4, 4), FromSlice(4, 4, sq8.Data[:16])) })
+	sq32 := New32(4, 4)
+	expectPanic("f32 out==a", func() { MatMulBlockedInto32(sq32, sq32, New32(4, 4)) })
+	expectPanic("f32 out==b", func() { MatMulBlockedInto32(sq32, New32(4, 4), sq32) })
+	backing32 := make([]float32, 32)
+	expectPanic("f32 partial overlap", func() {
+		out := &Matrix32{Rows: 4, Cols: 4, Data: backing32[8:24]}
+		a := &Matrix32{Rows: 4, Cols: 4, Data: backing32[:16]}
+		MatMulBlockedInto32(out, a, New32(4, 4))
+	})
+}
+
+// The hot inference shape: the per-step recurrent product at batch 8 with
+// the fused [Uz|Ur] right-hand side (32×64).
+func benchOperands(rng *rand.Rand) (*Matrix, *Matrix, *Matrix) {
+	return New(8, 64), randMat(rng, 8, 32), randMat(rng, 32, 64)
+}
+
+func BenchmarkMatMulNaive_8x32x64(b *testing.B) {
+	out, x, w := benchOperands(rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, x, w)
+	}
+}
+
+func BenchmarkMatMulBlocked_8x32x64(b *testing.B) {
+	out, x, w := benchOperands(rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulBlockedInto(out, x, w)
+	}
+}
+
+func BenchmarkMatMulBlocked32_8x32x64(b *testing.B) {
+	_, x, w := benchOperands(rand.New(rand.NewSource(1)))
+	out32, x32, w32 := New32(8, 64), x.To32(), w.To32()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulBlockedInto32(out32, x32, w32)
+	}
+}

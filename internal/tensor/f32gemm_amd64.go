@@ -1,0 +1,91 @@
+//go:build amd64
+
+package tensor
+
+// Feature detection and the Go-side tile driver for the AVX2+FMA float32
+// GEMM in f32gemm_amd64.s. The assembly handles full 4-row × 16-column
+// tiles (and 1×16 row tails); ragged edges — fewer than 16 remaining
+// columns or a final odd row block — run through the scalar kernels, which
+// produce the same ascending-k accumulation per element.
+
+// f32UseAsm is true when the CPU and OS support AVX2 and FMA. Tests may
+// flip it to force the scalar path; it is otherwise set once at init.
+var f32UseAsm = detectAVX2FMA()
+
+//go:noescape
+func f32cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func f32xgetbv() (eax, edx uint32)
+
+//go:noescape
+func gemm4x16f32(out, a, b *float32, k, an, bn, on uintptr)
+
+//go:noescape
+func gemm1x16f32(out, a, b *float32, k, bn uintptr)
+
+// detectAVX2FMA checks CPU support for FMA3 and AVX2 plus OS support for
+// saving YMM state (OSXSAVE + XCR0), the full precondition for running the
+// vector tiles.
+func detectAVX2FMA() bool {
+	maxLeaf, _, _, _ := f32cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := f32cpuid(1, 0)
+	const fma = 1 << 12
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&fma == 0 || ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	if xcr0, _ := f32xgetbv(); xcr0&6 != 6 { // XMM and YMM state enabled
+		return false
+	}
+	_, ebx7, _, _ := f32cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// matMulAsm32 drives the vector tiles over a strided m×k×n product.
+// Callers guarantee k ≥ 1, m ≥ 1, n ≥ 1 and no aliasing.
+func matMulAsm32(out, a, b []float32, m, k, n, ostride, ooff int) {
+	uk, ubn, uon := uintptr(k), uintptr(n), uintptr(ostride)
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		j := 0
+		for ; j+16 <= n; j += 16 {
+			gemm4x16f32(&out[i*ostride+ooff+j], &a[i*k], &b[j], uk, uk, ubn, uon)
+		}
+		if j < n {
+			scalarTail32(out, a, b, i, i+4, j, k, n, ostride, ooff)
+		}
+	}
+	for ; i < m; i++ {
+		j := 0
+		for ; j+16 <= n; j += 16 {
+			gemm1x16f32(&out[i*ostride+ooff+j], &a[i*k], &b[j], uk, ubn)
+		}
+		if j < n {
+			scalarTail32(out, a, b, i, i+1, j, k, n, ostride, ooff)
+		}
+	}
+}
+
+// scalarTail32 finishes rows [i0,i1) over columns [j0,n) in plain scalar
+// code — the ragged right edge of the tile grid.
+func scalarTail32(out, a, b []float32, i0, i1, j0, k, n, ostride, ooff int) {
+	for i := i0; i < i1; i++ {
+		ar := a[i*k : i*k+k]
+		or := out[i*ostride+ooff : i*ostride+ooff+n]
+		for j := j0; j < n; j++ {
+			var c float32
+			off := j
+			for p := 0; p < k; p++ {
+				c += ar[p] * b[off]
+				off += n
+			}
+			or[j] = c
+		}
+	}
+}

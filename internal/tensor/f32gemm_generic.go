@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds have no vector tiles; the float32 GEMM always runs the
+// portable scalar blocking.
+var f32UseAsm = false
+
+func matMulAsm32(out, a, b []float32, m, k, n, ostride, ooff int) {
+	matMulScalar32(out, a, b, m, k, n, ostride, ooff)
+}
